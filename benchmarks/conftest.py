@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+The heavy lifting (cycle-level simulation of every workload x
+configuration pair) is cached under ``.repro_cache/``; run
+``python -m repro.experiments.run_all`` once to prefill the cache, after
+which the whole benchmark suite regenerates every table and figure in
+seconds.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): benchmark regenerates this "
+        "table/figure of the paper")

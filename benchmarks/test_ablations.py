@@ -1,0 +1,28 @@
+"""Ablation benchmarks for the UBS design choices (DESIGN.md §5 extras).
+
+These go beyond the paper's own sweeps: run-merge gap, candidate-window
+width and UBS+GHRP composition, evaluated on a server subset.
+"""
+
+import pytest
+
+from repro.experiments import ablations as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("ablations")
+def test_ubs_design_ablations(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("ablations", exp.format(data))
+
+    default = data["gap=12 (default)"]
+    # Merging nearby runs must not hurt; strictly-maximal runs burn ways.
+    assert default["speedup"] >= data["gap=0 (maximal runs)"]["speedup"] - 0.003
+    # A 1-wide candidate window concentrates pressure on single ways; the
+    # paper's 4-wide window should be at least as good.
+    assert default["speedup"] >= data["window=1 (best fit)"]["speedup"] - 0.005
+    # All variants stay in a sane range.
+    for label, row in data.items():
+        assert 0.9 < row["speedup"] < 1.2, label
+        assert 0.0 <= row["partial_fraction"] <= 1.0, label

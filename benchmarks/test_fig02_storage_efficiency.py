@@ -1,0 +1,21 @@
+"""Regenerates Figure 2 — baseline L1-I storage-efficiency distribution."""
+
+import pytest
+
+from repro.experiments import fig02_storage_efficiency as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-2")
+def test_fig02_storage_efficiency(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig02_storage_efficiency", exp.format(data))
+
+    means = exp.family_means(data)
+    # Paper: 41-60% average efficiency; server is the worst, Google the
+    # best thanks to PGO-like layout.
+    assert 0.25 < means["server"] < 0.65
+    assert means["google"] > means["server"]
+    for family, value in means.items():
+        assert 0.0 < value <= 1.0, family

@@ -1,0 +1,22 @@
+"""Regenerates Figure 4 — bytes touched before the next n set misses."""
+
+import pytest
+
+from repro.experiments import fig04_touch_distance as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-4")
+def test_fig04_touch_distance(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig04_touch_distance", exp.format(data))
+
+    # Paper: ~90-95% of a block's accessed bytes are touched before the
+    # very next miss in its set, justifying the one-miss-window predictor.
+    for family in ("server", "google"):
+        per_n = data[family]
+        assert per_n[1] > 0.80, f"{family}: n=1 fraction too low"
+        # Monotone in n.
+        values = [per_n[n] for n in sorted(per_n)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

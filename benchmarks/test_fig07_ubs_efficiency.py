@@ -1,0 +1,59 @@
+"""Regenerates Figure 7 — UBS storage efficiency."""
+
+import pytest
+
+from repro.experiments import fig02_storage_efficiency as fig02
+from repro.experiments import fig07_ubs_efficiency as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-7")
+def test_fig07_ubs_efficiency(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig07_ubs_efficiency", exp.format(data))
+
+    ubs = exp.family_means(data)
+    base = fig02.family_means(fig02.run())
+    # The headline claim: UBS is substantially more storage efficient
+    # than the conventional cache in every family (paper: +32pp average).
+    for family in ubs:
+        assert ubs[family] > base[family] + 0.10, family
+    assert ubs["server"] > 0.60
+
+
+@pytest.mark.paper_artifact("figure-7")
+def test_ubs_block_count_claim(benchmark):
+    """The paper's >2x blocks-at-iso-budget claim, from the same runs.
+
+    Structurally UBS supports 17 tags per set versus 8 (2.1x); the
+    *resident* block count under real traffic is lower because partial
+    misses transiently invalidate ways, so we assert the structural claim
+    exactly and a softer bound on observed residency.
+    """
+    from repro.cpu.machine import build_icache
+    from repro.experiments.runner import run_pair
+
+    ubs_cache = build_icache("ubs")
+    conv_cache = build_icache("conv32")
+    capacity_ratio = (ubs_cache.sets * (ubs_cache.n_ways + 1)) \
+        / (conv_cache.sets * conv_cache.ways)
+    assert capacity_ratio > 2.0
+
+    def collect():
+        pairs = []
+        for name in ("server_003", "server_005", "server_007"):
+            ubs = run_pair(name, "ubs").extra["block_count"]
+            conv = run_pair(name, "conv32").extra["block_count"]
+            pairs.append((name, ubs, conv))
+        return pairs
+
+    pairs = run_once(benchmark, collect)
+    lines = [f"UBS supports {capacity_ratio:.2f}x the blocks of conv-32KB "
+             "at iso-budget (17 vs 8 tags/set).",
+             "Resident blocks at end of run:"]
+    for name, ubs_blocks, conv_blocks in pairs:
+        lines.append(f"  {name}: UBS {ubs_blocks}  conv {conv_blocks}  "
+                     f"ratio {ubs_blocks / conv_blocks:.2f}")
+        assert ubs_blocks > 1.3 * conv_blocks
+    emit("ubs_block_count", "\n".join(lines))

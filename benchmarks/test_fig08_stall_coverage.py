@@ -1,0 +1,21 @@
+"""Regenerates Figure 8 — front-end stall-cycle coverage."""
+
+import pytest
+
+from repro.experiments import fig08_stall_coverage as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-8")
+def test_fig08_stall_coverage(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig08_stall_coverage", exp.format(data))
+
+    fams = exp.family_averages(data)
+    # Server workloads benefit the most (paper: UBS covers 16.5% there).
+    assert fams["server"]["ubs"] > 0.05
+    assert fams["server"]["ubs"] > fams["spec"]["ubs"]
+    # The 64KB cache covers at least as much on average (paper: slightly
+    # higher than UBS).
+    assert fams["server"]["conv64"] >= fams["server"]["ubs"]

@@ -1,0 +1,22 @@
+"""Regenerates Figure 9 — UBS partial-miss taxonomy."""
+
+import pytest
+
+from repro.experiments import fig09_partial_misses as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-9")
+def test_fig09_partial_misses(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig09_partial_misses", exp.format(data))
+
+    fams = exp.family_averages(data)
+    server = fams["server"]
+    # Paper: partial misses are a moderate fraction of all misses
+    # (18-27%), dominated by missing sub-blocks and overruns, with
+    # underruns comparatively rare.
+    assert 0.05 < server["partial"] < 0.6
+    assert server["missing_subblock"] > server["underrun"]
+    assert server["overrun"] >= server["underrun"]

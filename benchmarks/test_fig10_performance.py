@@ -1,0 +1,21 @@
+"""Regenerates Figure 10 — UBS and 64 KB speedup over the 32 KB baseline."""
+
+import pytest
+
+from repro.experiments import fig10_performance as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-10")
+def test_fig10_performance(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig10_performance", exp.format(data))
+
+    g = exp.family_geomeans(data)
+    # Server: UBS gains, and sits between the baseline and the 64KB cache
+    # (paper: 5.6% vs 6.3%).
+    assert g["server"]["ubs"] > 1.0
+    assert g["server"]["conv64"] >= g["server"]["ubs"]
+    # Server gains dominate the other families, as in the paper.
+    assert g["server"]["ubs"] >= g["spec"]["ubs"] - 1e-6

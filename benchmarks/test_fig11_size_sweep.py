@@ -1,0 +1,23 @@
+"""Regenerates Figure 11 — UBS vs conventional caches across budgets."""
+
+import pytest
+
+from repro.experiments import fig11_size_sweep as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-11")
+def test_fig11_size_sweep(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig11_size_sweep", exp.format(data))
+
+    server = data["server"]
+    # Bigger conventional caches never hurt.
+    assert server["conv-192KB"] >= server["conv-32KB"] - 0.01
+    # At iso-budget UBS outperforms the conventional cache on server
+    # workloads (the paper's headline for this figure).
+    assert server["ubs-32KB"] > server["conv-32KB"]
+    assert server["ubs-64KB"] > server["conv-64KB"] - 0.005
+    # A small UBS approaches a twice-as-large conventional cache.
+    assert server["ubs-20KB"] > server["conv-16KB"]

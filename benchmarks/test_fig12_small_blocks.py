@@ -1,0 +1,22 @@
+"""Regenerates Figure 12 — UBS vs 16B/32B-block conventional caches."""
+
+import pytest
+
+from repro.experiments import fig12_small_blocks as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-12")
+def test_fig12_small_blocks(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig12_small_blocks", exp.format(data))
+
+    budgets = exp.storage_budgets()
+    # Iso-storage comparison: all three designs within a few KiB.
+    assert max(budgets.values()) - min(budgets.values()) < 6.0
+
+    server = data["server"]
+    # Paper: UBS roughly doubles the small-block caches' server gain.
+    assert server["ubs"] >= server["small16"] - 0.005
+    assert server["ubs"] >= server["small32"] - 0.005

@@ -1,0 +1,19 @@
+"""Regenerates Figure 13 — GHRP / ACIC / Line Distillation vs UBS."""
+
+import pytest
+
+from repro.experiments import fig13_prior_work as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-13")
+def test_fig13_prior_work(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig13_prior_work", exp.format(data))
+
+    server = data["server"]
+    # Paper: all three prior techniques trail UBS on server workloads.
+    assert server["ubs"] >= server["conv32_ghrp"] - 0.005
+    assert server["ubs"] >= server["conv32_acic"] - 0.005
+    assert server["ubs"] >= server["distill32"] - 0.005

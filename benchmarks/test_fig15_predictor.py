@@ -1,0 +1,19 @@
+"""Regenerates Figure 15 — usefulness-predictor organisations."""
+
+import pytest
+
+from repro.experiments import fig15_predictor as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-15")
+def test_fig15_predictor(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig15_predictor", exp.format(data))
+
+    server = data["server"]
+    values = [server[c] for c in exp.CONFIGS]
+    # Paper: all predictor organisations perform similarly (the default
+    # direct-mapped predictor is not a bottleneck).
+    assert max(values) - min(values) < 0.05

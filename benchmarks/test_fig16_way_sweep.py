@@ -1,0 +1,23 @@
+"""Regenerates Figure 16 — way-count/size sensitivity."""
+
+import pytest
+
+from repro.experiments import fig16_way_sweep as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("figure-16")
+def test_fig16_way_sweep(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("fig16_way_sweep", exp.format(data))
+
+    server = data["server"]
+    default = server["16-way c1"]
+    # Paper: small variation for 12+ ways...
+    for label in ("12-way c1", "12-way c2", "14-way c1", "14-way c2",
+                  "16-way c2", "18-way c1", "18-way c2"):
+        assert abs(server[label] - default) < 0.05, label
+    # ...and merely re-organising the conventional cache into 16 ways
+    # gives almost nothing (paper: 0.26%).
+    assert abs(server["conv 16w"] - 1.0) < 0.02

@@ -1,0 +1,23 @@
+"""The paper's headline claims, evaluated end to end."""
+
+import pytest
+
+from repro.experiments import summary as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("headline-claims")
+def test_headline_claims(benchmark):
+    claims = run_once(benchmark, exp.collect)
+    emit("headline_claims", exp.format(claims))
+
+    by_name = {c.claim: c for c in claims}
+    # The exact analytical claims must hold outright.
+    assert by_name["UBS storage overhead over 32KB baseline"].holds
+    assert by_name["UBS access latency vs baseline"].holds
+    assert by_name["blocks supported at iso-budget"].holds
+    # The behavioural claims must hold in shape (bounds inside collect()).
+    assert by_name["server front-end stall cycles covered by UBS"].holds
+    assert by_name["server speedup: UBS vs 64KB conventional"].holds
+    assert by_name["storage-efficiency gain of UBS"].holds

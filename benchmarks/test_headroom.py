@@ -1,0 +1,50 @@
+"""Front-end headroom: perfect L1-I upper bound per family.
+
+Not a figure in the paper, but the quantity its motivation cites (Google
+fleet studies: 15-30% of cycles lost at the front-end). The gap between
+``conv32`` and ``ideal`` bounds what any L1-I organisation can recover;
+UBS's coverage is best read against this bound.
+"""
+
+import pytest
+
+from repro.experiments.report import by_family, geomean, perf_workloads
+from repro.experiments.runner import run_pair
+
+from _util import emit, run_once
+
+
+def collect():
+    out = {}
+    for family, names in by_family(perf_workloads()).items():
+        speedups, stall_shares = [], []
+        for name in names:
+            base = run_pair(name, "conv32")
+            ideal = run_pair(name, "ideal")
+            speedups.append(ideal.speedup_over(base))
+            stall_shares.append(
+                base.frontend.fetch_stall_cycles / base.cycles)
+        out[family] = {
+            "ideal_speedup": geomean(speedups),
+            "stall_share": sum(stall_shares) / len(stall_shares),
+        }
+    return out
+
+
+@pytest.mark.paper_artifact("headroom")
+def test_frontend_headroom(benchmark):
+    data = run_once(benchmark, collect)
+    lines = ["Front-end headroom (perfect L1-I vs 32KB baseline):"]
+    for family, row in data.items():
+        lines.append(f"  {family:8s} ideal speedup {row['ideal_speedup']:.3f}"
+                     f"   i-cache stall share {row['stall_share']:.1%}")
+    emit("headroom", "\n".join(lines))
+
+    # Server workloads must be the most front-end bound, as in every
+    # fleet study the paper cites.
+    assert data["server"]["stall_share"] > data["spec"]["stall_share"]
+    assert data["server"]["ideal_speedup"] >= data["client"]["ideal_speedup"] - 0.01
+    # UBS coverage (Fig. 8) must stay below this bound.
+    from repro.experiments import fig08_stall_coverage
+    cov = fig08_stall_coverage.family_averages(fig08_stall_coverage.run())
+    assert cov["server"]["ubs"] <= 1.0

@@ -1,0 +1,24 @@
+"""Regenerates Table III — storage requirements (bit-exact)."""
+
+import pytest
+
+from repro.experiments import table3_storage as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("table-3")
+def test_table3_storage(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("table3_storage", exp.format(data))
+
+    conv, ubs = data["conv32"], data["ubs"]
+    # Exact values from the paper.
+    assert conv.total_bytes_per_set == 542.0
+    assert abs(conv.total_kib - 33.875) < 1e-9
+    assert abs(ubs.total_bytes_per_set - 581.375) < 1e-9
+    assert abs(ubs.total_kib - 36.3359375) < 1e-9
+    assert ubs.data_bytes_per_set == 508
+    assert ubs.start_offset_bits_per_set == 48     # 6 B
+    assert ubs.bitvector_bits_per_set == 16        # 2 B
+    assert ubs.tag_metadata_bits_per_set == 523    # 65.375 B

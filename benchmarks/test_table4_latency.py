@@ -1,0 +1,26 @@
+"""Regenerates Table IV + Section VI-I — access latency analysis."""
+
+import pytest
+
+from repro.experiments import table4_latency as exp
+
+from _util import emit, run_once
+
+
+@pytest.mark.paper_artifact("table-4")
+def test_table4_latency(benchmark):
+    report = run_once(benchmark, exp.run)
+    emit("table4_latency", exp.format(report))
+
+    # Exact CACTI calibration points.
+    assert abs(report.baseline_tag_ns - 0.09) < 1e-9
+    assert abs(report.baseline_data_ns - 0.77) < 1e-9
+    assert abs(report.naive_17way_data_ns - 1.71) < 1e-9
+    assert abs(report.ubs_tag_ns - 0.12) < 0.005
+    # Section VI-I derived numbers: 0.13 ns hit detect, 0.14 ns shift.
+    assert abs(report.ubs_hit_detect_ns - 0.13) < 0.005
+    assert abs(report.ubs_shift_amount_ns - 0.14) < 0.005
+    # Consolidation: 17 logical ways fit in 8 physical ways, so UBS keeps
+    # the baseline's data-array latency.
+    assert report.physical_data_ways == 8
+    assert report.same_latency_as_baseline

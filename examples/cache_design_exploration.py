@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Design-space exploration for an uneven-block-size instruction cache.
+
+Combines the three analytical models (storage, latency, consolidation)
+with short simulations to evaluate candidate way configurations — the
+workflow an architect would use on top of this library to size their own
+UBS-style cache.
+
+Usage: python examples/cache_design_exploration.py
+"""
+
+from repro import Machine, UBSICache, UBSParams, get_workload
+from repro.core.configs import WAY_CONFIGS
+from repro.core.consolidation import consolidate_ways
+from repro.core.latency import latency_report
+from repro.core.storage import ubs_storage
+from repro.cpu.machine import build_icache
+
+WORKLOAD = "server_000"
+
+
+def analyse(way_sizes):
+    """Static properties of one way configuration."""
+    storage = ubs_storage(way_sizes)
+    latency = latency_report(way_sizes)
+    bins = consolidate_ways(way_sizes)
+    return {
+        "data_bytes": sum(way_sizes),
+        "total_kib": storage.total_kib,
+        "physical_ways": len(bins),
+        "latency_ok": latency.same_latency_as_baseline,
+    }
+
+
+def simulate(way_sizes, trace, warmup, measure):
+    params = UBSParams(way_sizes=tuple(sorted(way_sizes)))
+    machine = Machine(trace, UBSICache(params))
+    return machine.run(warmup, measure)
+
+
+def main() -> None:
+    workload = get_workload(WORKLOAD)
+    trace = workload.generate()
+    warmup, measure = workload.windows()
+
+    baseline = Machine(trace, build_icache("conv32")).run(warmup, measure)
+    print(f"baseline conv-32KB on {WORKLOAD}: IPC {baseline.ipc:.3f}, "
+          f"MPKI {baseline.l1i_mpki:.1f}\n")
+
+    print(f"{'config':12s} {'#ways':>5s} {'data/set':>9s} {'total':>8s} "
+          f"{'physW':>5s} {'lat=base':>8s} {'speedup':>8s} {'eff':>5s}")
+    for (n_ways, cfg), sizes in sorted(WAY_CONFIGS.items()):
+        label = f"{n_ways}-way c{cfg}"
+        static = analyse(sizes)
+        result = simulate(sizes, trace, warmup, measure)
+        print(f"{label:12s} {n_ways:5d} {static['data_bytes']:7d}B "
+              f"{static['total_kib']:7.2f}K {static['physical_ways']:5d} "
+              f"{str(static['latency_ok']):>8s} "
+              f"{result.speedup_over(baseline):8.3f} "
+              f"{result.efficiency.mean:5.2f}")
+
+    print("\nColumns: data bytes per set (budget), total storage incl. "
+          "metadata, physical data ways after consolidation, whether the "
+          "access latency stays at the baseline's, speedup over conv-32KB, "
+          "mean storage efficiency.")
+
+
+if __name__ == "__main__":
+    main()

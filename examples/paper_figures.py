@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate any of the paper's tables/figures from the command line.
+
+Thin demonstration of the :mod:`repro.experiments` API. Results are
+cached under ``.repro_cache/``; the first run of a figure simulates every
+(workload, configuration) pair it needs — prefill everything at once with
+``python -m repro.experiments.run_all``.
+
+Usage:
+    python examples/paper_figures.py            # list available artifacts
+    python examples/paper_figures.py fig10      # regenerate Figure 10
+    python examples/paper_figures.py table3 fig4
+"""
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    fig01_byte_usage,
+    fig02_storage_efficiency,
+    fig04_touch_distance,
+    fig07_ubs_efficiency,
+    fig08_stall_coverage,
+    fig09_partial_misses,
+    fig10_performance,
+    fig11_size_sweep,
+    fig12_small_blocks,
+    fig13_prior_work,
+    fig15_predictor,
+    fig16_way_sweep,
+    sec6l_cvp,
+    table3_storage,
+    table4_latency,
+)
+
+ARTIFACTS = {
+    "fig1": fig01_byte_usage,
+    "fig2": fig02_storage_efficiency,
+    "fig4": fig04_touch_distance,
+    "fig7": fig07_ubs_efficiency,
+    "fig8": fig08_stall_coverage,
+    "fig9": fig09_partial_misses,
+    "fig10": fig10_performance,
+    "fig11": fig11_size_sweep,
+    "fig12": fig12_small_blocks,
+    "fig13": fig13_prior_work,
+    "fig15": fig15_predictor,
+    "fig16": fig16_way_sweep,
+    "table3": table3_storage,
+    "table4": table4_latency,
+    "sec6l": sec6l_cvp,
+    "ablations": ablations,
+}
+
+
+def main() -> int:
+    names = [n.lower().replace("figure", "fig") for n in sys.argv[1:]]
+    if not names:
+        print("available artifacts:")
+        for name, module in ARTIFACTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {doc}")
+        return 0
+    for name in names:
+        module = ARTIFACTS.get(name)
+        if module is None:
+            print(f"unknown artifact {name!r}; run without arguments "
+                  "for the list", file=sys.stderr)
+            return 2
+        print(module.format(module.run()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

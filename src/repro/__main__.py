@@ -1,0 +1,111 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # workload suite
+    python -m repro run server_001 ubs        # one simulation
+    python -m repro compare server_001 conv32 conv64 ubs
+    python -m repro models                    # Table III / Table IV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import Machine, build_icache, get_workload
+from .trace.workloads import all_families, workload_names
+
+
+def _cmd_list(_args) -> int:
+    for family in all_families():
+        names = workload_names(family)
+        print(f"{family} ({len(names)}):")
+        for name in names:
+            spec = get_workload(name).spec
+            print(f"  {name:14s} isa={spec.isa:8s} "
+                  f"functions={spec.n_functions}")
+    return 0
+
+
+def _run_one(workload_name: str, config: str, trace=None):
+    workload = get_workload(workload_name)
+    if trace is None:
+        trace = workload.generate()
+    warmup, measure = workload.windows()
+    machine = Machine(trace, build_icache(config))
+    result = machine.run(warmup, measure)
+    result.workload, result.config = workload_name, config
+    return result, trace
+
+
+def _print_result(result, baseline=None) -> None:
+    fe = result.frontend
+    line = (f"{result.config:14s} IPC {result.ipc:6.3f}  "
+            f"MPKI {result.l1i_mpki:6.2f}  "
+            f"icache-stall {fe.fetch_stall_cycles / result.cycles:6.1%}")
+    if result.efficiency:
+        line += f"  efficiency {result.efficiency.mean:.2f}"
+    if baseline is not None and baseline is not result:
+        line += (f"  speedup {result.speedup_over(baseline):.3f}"
+                 f"  coverage {result.stall_coverage_over(baseline):6.1%}")
+    print(line)
+
+
+def _cmd_run(args) -> int:
+    result, _ = _run_one(args.workload, args.config)
+    _print_result(result)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    baseline = None
+    trace = None
+    for config in args.configs:
+        result, trace = _run_one(args.workload, config, trace)
+        if baseline is None:
+            baseline = result
+        _print_result(result, baseline)
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    from .experiments import table3_storage, table4_latency
+    print(table3_storage.format(table3_storage.run()))
+    print()
+    print(table4_latency.format(table4_latency.run()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UBS instruction cache reproduction (MICRO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite")
+
+    p_run = sub.add_parser("run", help="simulate one workload/config pair")
+    p_run.add_argument("workload")
+    p_run.add_argument("config", nargs="?", default="ubs")
+
+    p_cmp = sub.add_parser("compare",
+                           help="run several configs on one workload")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("configs", nargs="+")
+
+    sub.add_parser("models", help="print the Table III/IV models")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "models": _cmd_models,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Workload characterisation: the analyses behind trace calibration.
+
+These operate on raw instruction traces (no simulator needed) and answer
+the questions the paper's Section III asks of its trace sets: how big is
+the instruction footprint, how is control flow structured, how far apart
+are block reuses, and how many bytes of each block does one visit touch.
+"""
+
+from .trace_stats import (
+    BranchProfile,
+    FootprintReport,
+    InstructionMix,
+    branch_profile,
+    footprint,
+    instruction_mix,
+    run_length_profile,
+)
+from .reuse import reuse_distance_histogram, working_set_curve
+
+__all__ = [
+    "BranchProfile",
+    "FootprintReport",
+    "InstructionMix",
+    "branch_profile",
+    "footprint",
+    "instruction_mix",
+    "reuse_distance_histogram",
+    "run_length_profile",
+    "working_set_curve",
+]

@@ -1,0 +1,139 @@
+"""Static/dynamic trace statistics.
+
+Everything here is simulator-free: pure passes over an instruction trace.
+Used to calibrate the synthetic workload families against the properties
+the paper reports for its production traces, and exposed as a public API
+for characterising user-provided traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..params import TRANSFER_BLOCK
+from ..trace.record import Instruction, InstrKind
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Instruction-footprint summary of a trace."""
+
+    instructions: int
+    unique_pcs: int
+    unique_blocks: int
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.unique_blocks * TRANSFER_BLOCK
+
+    @property
+    def footprint_kib(self) -> float:
+        return self.footprint_bytes / 1024
+
+
+def footprint(trace: Sequence[Instruction]) -> FootprintReport:
+    """Unique PCs and 64-byte blocks touched by the trace."""
+    pcs = set()
+    blocks = set()
+    for ins in trace:
+        pcs.add(ins.pc)
+        blocks.add(ins.pc >> 6)
+        last = ins.pc + ins.size - 1
+        if last >> 6 != ins.pc >> 6:
+            blocks.add(last >> 6)
+    return FootprintReport(len(trace), len(pcs), len(blocks))
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fraction of instructions per class."""
+
+    fractions: Dict[str, float]
+
+    def __getitem__(self, kind: str) -> float:
+        return self.fractions.get(kind, 0.0)
+
+    @property
+    def branch_fraction(self) -> float:
+        return sum(v for k, v in self.fractions.items()
+                   if k in ("BR_COND", "JUMP", "CALL", "RET", "BR_IND",
+                            "CALL_IND"))
+
+    @property
+    def memory_fraction(self) -> float:
+        return self["LOAD"] + self["STORE"]
+
+
+def instruction_mix(trace: Sequence[Instruction]) -> InstructionMix:
+    counts = Counter(ins.kind.name for ins in trace)
+    total = max(1, len(trace))
+    return InstructionMix({k: v / total for k, v in counts.items()})
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Control-flow statistics of a trace."""
+
+    branches: int
+    taken: int
+    conditional: int
+    conditional_taken: int
+    static_sites: int
+    avg_basic_block_instrs: float
+
+    @property
+    def taken_fraction(self) -> float:
+        return self.taken / self.branches if self.branches else 0.0
+
+    @property
+    def conditional_taken_fraction(self) -> float:
+        return (self.conditional_taken / self.conditional
+                if self.conditional else 0.0)
+
+
+def branch_profile(trace: Sequence[Instruction]) -> BranchProfile:
+    branches = taken = cond = cond_taken = 0
+    sites = set()
+    for ins in trace:
+        if not ins.is_branch:
+            continue
+        branches += 1
+        sites.add(ins.pc)
+        if ins.taken:
+            taken += 1
+        if ins.kind == InstrKind.BR_COND:
+            cond += 1
+            if ins.taken:
+                cond_taken += 1
+    avg_bb = len(trace) / branches if branches else float(len(trace))
+    return BranchProfile(branches, taken, cond, cond_taken, len(sites),
+                         avg_bb)
+
+
+def run_length_profile(trace: Sequence[Instruction],
+                       granularity: int = 4) -> Counter:
+    """Distribution of *sequential run lengths in bytes* — how many
+    consecutive bytes the front-end fetches between taken branches.
+
+    This is the dynamic quantity whose distribution the UBS way sizes are
+    chosen to match (Section IV-D).
+    """
+    runs: Counter = Counter()
+    run_bytes = 0
+    prev_end = None
+    for ins in trace:
+        if prev_end is not None and ins.pc != prev_end:
+            if run_bytes:
+                runs[min(run_bytes, 4096)] += 1
+            run_bytes = 0
+        run_bytes += ins.size
+        prev_end = ins.pc + ins.size
+        if ins.is_branch and ins.taken:
+            runs[min(run_bytes, 4096)] += 1
+            run_bytes = 0
+            prev_end = ins.target
+    if run_bytes:
+        runs[min(run_bytes, 4096)] += 1
+    return runs

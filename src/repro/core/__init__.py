@@ -1,0 +1,35 @@
+"""The paper's contribution: the Uneven Block Size instruction cache."""
+
+from .configs import (
+    DEFAULT_WAY_SIZES,
+    WAY_CONFIGS,
+    ubs_params_for_budget,
+    way_config,
+)
+from .consolidation import consolidate_ways, shift_amount
+from .designer import design_params, design_way_sizes
+from .predictor import PredictorConfig, UsefulnessPredictor
+from .storage import StorageReport, conventional_storage, ubs_storage
+from .latency import LatencyReport, latency_report
+from .subblock import extract_runs
+from .ubs_cache import UBSICache
+
+__all__ = [
+    "DEFAULT_WAY_SIZES",
+    "LatencyReport",
+    "PredictorConfig",
+    "StorageReport",
+    "UBSICache",
+    "UsefulnessPredictor",
+    "WAY_CONFIGS",
+    "consolidate_ways",
+    "conventional_storage",
+    "design_params",
+    "design_way_sizes",
+    "extract_runs",
+    "latency_report",
+    "shift_amount",
+    "ubs_params_for_budget",
+    "ubs_storage",
+    "way_config",
+]

@@ -1,0 +1,73 @@
+"""Way-size catalogues for UBS configurations.
+
+Includes the Table II default plus the way-count/size sweep of Fig. 16
+(config1/config2 per way count; the 14-way lists are the ones printed in
+the paper, the others follow the same construction: config1 keeps more
+small ways, config2 spreads sizes more evenly). All configurations keep a
+per-set data budget close to the default's 444 bytes so the sweep compares
+organisation, not capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..params import DEFAULT_UBS_WAY_SIZES, UBSParams
+
+DEFAULT_WAY_SIZES = DEFAULT_UBS_WAY_SIZES
+
+#: (n_ways, config) -> way sizes. The 14-way entries are quoted verbatim
+#: from Section VI-K.
+WAY_CONFIGS: Dict[Tuple[int, int], Tuple[int, ...]] = {
+    (10, 1): (8, 12, 16, 24, 32, 36, 52, 64, 64, 64),
+    (10, 2): (8, 16, 24, 32, 36, 52, 56, 64, 64, 64),
+    (12, 1): (4, 8, 8, 12, 16, 24, 32, 36, 52, 64, 64, 64),
+    (12, 2): (4, 8, 16, 24, 28, 32, 36, 44, 52, 64, 64, 64),
+    (14, 1): (4, 4, 8, 12, 16, 24, 28, 28, 32, 36, 36, 64, 64, 64),
+    (14, 2): (4, 4, 8, 16, 24, 28, 32, 36, 40, 44, 52, 60, 64, 64),
+    (16, 1): DEFAULT_WAY_SIZES,
+    (16, 2): (4, 4, 8, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56, 64, 64),
+    (18, 1): (4, 4, 4, 8, 8, 8, 12, 12, 16, 20, 24, 28, 32, 36, 36, 48, 64, 64),
+    (18, 2): (4, 4, 8, 8, 8, 12, 12, 16, 20, 24, 28, 32, 36, 40, 52, 56, 60, 64),
+}
+
+
+def way_config(n_ways: int, config: int = 1) -> Tuple[int, ...]:
+    """Look up a way-size list from the Fig. 16 catalogue."""
+    try:
+        return WAY_CONFIGS[(n_ways, config)]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no catalogued UBS configuration with {n_ways} ways "
+            f"(config{config})"
+        ) from exc
+
+
+def ubs_params_for_budget(budget: int,
+                          base: UBSParams = UBSParams()) -> UBSParams:
+    """UBS parameters whose data storage targets ``budget`` bytes.
+
+    Mirrors Section VI-F: the way-size profile is kept and the set count is
+    scaled (64 sets ~ the default ~32 KB-budget point). Non-power-of-two
+    budgets such as 20 KB are approximated by the closest not-larger
+    power-of-two set count with a proportionally trimmed way list.
+    """
+    per_set = base.data_bytes_per_set
+    exact_sets = budget / per_set
+    sets = 1
+    while sets * 2 <= exact_sets:
+        sets *= 2
+    remainder = budget - sets * per_set
+    if remainder >= sets * per_set:  # pragma: no cover - defensive
+        raise ConfigurationError("set scaling failed")
+    way_sizes = base.way_sizes
+    if remainder > 0.25 * sets * per_set:
+        # Budgets like 20 KB sit between power-of-two points; widen the
+        # ways instead (add extra 64B ways) to approach the budget.
+        extra_per_set = remainder // sets
+        extra_ways = int(extra_per_set // 64)
+        if extra_ways:
+            way_sizes = way_sizes + (64,) * extra_ways
+    return replace(base, sets=sets, predictor_sets=sets, way_sizes=way_sizes)

@@ -1,0 +1,97 @@
+"""Logical-to-physical way consolidation (Section VI-I2).
+
+Multiple logical UBS ways are packed into 64-byte physical SRAM ways so
+the data array keeps the baseline's width (8 physical ways for the default
+configuration, one of which is the predictor). Packing is first-fit
+decreasing, which achieves the paper's 7-data-ways + predictor example.
+
+``shift_amount`` reproduces the read-out arithmetic: the byte to rotate to
+lane 0 is the fetch offset within the logical block plus the sizes of the
+logical ways that precede it inside its physical way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..params import TRANSFER_BLOCK
+
+
+def consolidate_ways(way_sizes: Sequence[int],
+                     include_predictor: bool = True,
+                     physical_size: int = TRANSFER_BLOCK
+                     ) -> List[List[int]]:
+    """Pack logical way *indices* into physical ways (bins).
+
+    Returns a list of bins; each bin is a list of logical way indices whose
+    sizes sum to at most ``physical_size``. Index ``len(way_sizes)``
+    denotes the predictor way (a full 64-byte way on its own) when
+    ``include_predictor`` is set.
+    """
+    if any(w <= 0 or w > physical_size for w in way_sizes):
+        raise ConfigurationError("way sizes must be in 1..physical_size")
+    order = sorted(range(len(way_sizes)),
+                   key=lambda i: way_sizes[i], reverse=True)
+    bins: List[List[int]] = []
+    room: List[int] = []
+    for idx in order:
+        size = way_sizes[idx]
+        for b, free in enumerate(room):
+            if size <= free:
+                bins[b].append(idx)
+                room[b] -= size
+                break
+        else:
+            bins.append([idx])
+            room.append(physical_size - size)
+    if include_predictor:
+        bins.append([len(way_sizes)])
+    return bins
+
+
+def physical_way_of(way_sizes: Sequence[int],
+                    bins: List[List[int]]) -> Dict[int, Tuple[int, int]]:
+    """Map logical way index -> (physical way, byte offset within it).
+
+    Index ``len(way_sizes)`` is the predictor way (64 bytes).
+    """
+    sizes = list(way_sizes) + [TRANSFER_BLOCK]
+    mapping: Dict[int, Tuple[int, int]] = {}
+    for phys, members in enumerate(bins):
+        offset = 0
+        for idx in members:
+            mapping[idx] = (phys, offset)
+            offset += sizes[idx]
+        if offset > TRANSFER_BLOCK:
+            raise ConfigurationError(
+                f"physical way {phys} overflows: {offset} bytes"
+            )
+    return mapping
+
+
+def shift_amount(way_sizes: Sequence[int], bins: List[List[int]],
+                 logical_way: int, fetch_byte_offset: int) -> int:
+    """Byte shift into the 64B physical way for a hit in ``logical_way``.
+
+    ``fetch_byte_offset`` is the offset of the first requested byte within
+    the logical sub-block (byte_offset - start_offset, Section VI-I2). The
+    result is that offset plus the sizes of the logical ways packed before
+    this one in the same physical way.
+    """
+    sizes = list(way_sizes) + [TRANSFER_BLOCK]   # predictor way appended
+    if not 0 <= logical_way < len(sizes):
+        raise ConfigurationError(f"no logical way {logical_way}")
+    if not 0 <= fetch_byte_offset < sizes[logical_way]:
+        raise ConfigurationError(
+            f"fetch offset {fetch_byte_offset} outside way of size "
+            f"{sizes[logical_way]}"
+        )
+    for members in bins:
+        if logical_way in members:
+            preceding = 0
+            for idx in members:
+                if idx == logical_way:
+                    return preceding + fetch_byte_offset
+                preceding += sizes[idx]
+    raise ConfigurationError(f"logical way {logical_way} not in any bin")

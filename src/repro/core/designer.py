@@ -1,0 +1,118 @@
+"""Automatic UBS way-size design (Section IV-D as an algorithm).
+
+The paper chooses Table II's way sizes from the Figure 1 byte-usage data
+"to evenly distribute the pressure on the ways". This module mechanises
+that choice: given the distribution of per-block useful-byte demands
+(e.g. a :class:`~repro.stats.histograms.ByteUsageHistogram` from a
+baseline run), it picks ``n_ways`` sizes at equal-mass quantiles and fits
+them to a per-set byte budget — so users can size a UBS cache for *their*
+workload instead of the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..params import TRANSFER_BLOCK, UBSParams
+
+
+def _quantile_sizes(counts: Sequence[int], n_ways: int,
+                    granularity: int) -> List[int]:
+    """Equal-pressure sizes: way *i* covers the (i+1)/n quantile of the
+    useful-bytes-per-block distribution (zero-byte blocks excluded)."""
+    total = sum(counts[1:])
+    if total == 0:
+        raise ConfigurationError("usage histogram is empty")
+    sizes = []
+    acc = 0
+    target_idx = 0
+    targets = [total * (i + 1) / n_ways for i in range(n_ways)]
+    for nbytes in range(1, len(counts)):
+        acc += counts[nbytes]
+        while target_idx < n_ways and acc >= targets[target_idx] - 1e-9:
+            size = math.ceil(nbytes / granularity) * granularity
+            sizes.append(min(TRANSFER_BLOCK, max(granularity, size)))
+            target_idx += 1
+    while len(sizes) < n_ways:
+        sizes.append(TRANSFER_BLOCK)
+    return sizes
+
+
+def _fit_to_budget(sizes: List[int], budget: int,
+                   granularity: int) -> List[int]:
+    """Scale the size list toward ``budget`` bytes per set, preserving
+    the profile shape, granularity and bounds."""
+    if budget < len(sizes) * granularity:
+        raise ConfigurationError(
+            f"budget {budget} cannot hold {len(sizes)} ways at "
+            f"granularity {granularity}"
+        )
+    current = sum(sizes)
+    scale = budget / current
+    # Full-block ways are kept at 64B through the proportional scaling;
+    # the repair loop below only trims them as a last resort.
+    scaled = [
+        s if s == TRANSFER_BLOCK else
+        min(TRANSFER_BLOCK,
+            max(granularity,
+                int(round(s * scale / granularity)) * granularity))
+        for s in sizes
+    ]
+    # Greedy repair toward the budget: grow the smallest / shrink the
+    # largest adjustable way until no step fits.
+    def total() -> int:
+        return sum(scaled)
+
+    guard = 0
+    while total() != budget and guard < 1024:
+        guard += 1
+        if total() < budget:
+            candidates = [i for i, s in enumerate(scaled)
+                          if s + granularity <= TRANSFER_BLOCK]
+            if not candidates or total() + granularity > budget:
+                break
+            grow = min(candidates, key=scaled.__getitem__)
+            scaled[grow] += granularity
+        else:
+            candidates = [i for i, s in enumerate(scaled)
+                          if s - granularity >= granularity]
+            if not candidates:
+                break
+            # Shrink the largest *partial* way first: full-block (64B)
+            # ways hold the unsplittable fully-used blocks and are
+            # qualitatively important (Table II keeps three of them).
+            partial = [i for i in candidates if scaled[i] < TRANSFER_BLOCK]
+            pool = partial or candidates
+            shrink = max(pool, key=scaled.__getitem__)
+            scaled[shrink] -= granularity
+    return sorted(scaled)
+
+
+def design_way_sizes(usage_counts: Sequence[int], n_ways: int = 16,
+                     budget: int = 444,
+                     granularity: int = 4) -> Tuple[int, ...]:
+    """Design a UBS way-size list from a byte-usage histogram.
+
+    ``usage_counts[b]`` = number of blocks whose lifetime used exactly
+    ``b`` bytes (a :class:`ByteUsageHistogram`'s ``counts``). ``budget``
+    is data bytes per set excluding the predictor way (Table II's list
+    sums to 444).
+    """
+    if n_ways < 1:
+        raise ConfigurationError("need at least one way")
+    if len(usage_counts) < TRANSFER_BLOCK + 1:
+        raise ConfigurationError("usage histogram must cover 0..64 bytes")
+    sizes = _quantile_sizes(usage_counts, n_ways, granularity)
+    fitted = _fit_to_budget(sizes, budget, granularity)
+    return tuple(fitted)
+
+
+def design_params(usage_counts: Sequence[int], n_ways: int = 16,
+                  budget: int = 444, sets: int = 64,
+                  granularity: int = 4) -> UBSParams:
+    """Full :class:`UBSParams` for a designed configuration."""
+    sizes = design_way_sizes(usage_counts, n_ways, budget, granularity)
+    return UBSParams(sets=sets, predictor_sets=sets, way_sizes=sizes,
+                     instruction_granularity=granularity)

@@ -1,0 +1,125 @@
+"""Storage accounting (Table III).
+
+Bit-exact reproduction of the paper's storage model for a fixed 4-byte
+instruction ISA and a 38-bit physical address space:
+
+* conventional L1-I: per-way tag (26b) + LRU (3b) + valid (1b), 64B data;
+* UBS: per-way tag (26b) + LRU (4b) + valid (1b), per-way ``start_offset``
+  (ceil(log2((64 - way_size)/4 + 1)) bits), a direct-mapped predictor way
+  (26b tag + 1b valid, 2B bit-vector, 64B data) and the uneven data array.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..params import TRANSFER_BLOCK
+
+PHYSICAL_ADDR_BITS = 38
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Per-set and total storage of one cache organisation."""
+
+    name: str
+    tag_metadata_bits_per_set: int
+    start_offset_bits_per_set: int
+    bitvector_bits_per_set: int
+    data_bytes_per_set: int
+    sets: int
+
+    @property
+    def metadata_bytes_per_set(self) -> float:
+        bits = (self.tag_metadata_bits_per_set
+                + self.start_offset_bits_per_set
+                + self.bitvector_bits_per_set)
+        return bits / 8
+
+    @property
+    def total_bytes_per_set(self) -> float:
+        return self.metadata_bytes_per_set + self.data_bytes_per_set
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bytes_per_set * self.sets
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bytes / 1024
+
+
+def tag_bits(sets: int, block_size: int = TRANSFER_BLOCK,
+             addr_bits: int = PHYSICAL_ADDR_BITS) -> int:
+    """Tag width for a physically indexed cache."""
+    return addr_bits - int(math.log2(sets)) - int(math.log2(block_size))
+
+
+def start_offset_bits(way_size: int, granularity: int = 4,
+                      block_size: int = TRANSFER_BLOCK) -> int:
+    """Bits to encode where a sub-block starts inside the 64B block.
+
+    A sub-block of ``way_size`` bytes can start at any granularity-aligned
+    offset that keeps it inside the block: ``(block - way)/g + 1`` choices
+    (Section VI-A: 64B ways need 0 bits, the 52B way needs 2, 36B needs 3,
+    everything else 4).
+    """
+    if way_size > block_size:
+        raise ConfigurationError("way larger than the transfer block")
+    positions = (block_size - way_size) // granularity + 1
+    return math.ceil(math.log2(positions)) if positions > 1 else 0
+
+
+def conventional_storage(size: int = 32 * 1024, ways: int = 8,
+                         block_size: int = TRANSFER_BLOCK,
+                         addr_bits: int = PHYSICAL_ADDR_BITS) -> StorageReport:
+    """Table III, left column."""
+    sets = size // (ways * block_size)
+    lru = math.ceil(math.log2(ways)) if ways > 1 else 0
+    per_way = tag_bits(sets, block_size, addr_bits) + lru + 1
+    return StorageReport(
+        name=f"{size // 1024}KB Conv-L1I",
+        tag_metadata_bits_per_set=ways * per_way,
+        start_offset_bits_per_set=0,
+        bitvector_bits_per_set=0,
+        data_bytes_per_set=ways * block_size,
+        sets=sets,
+    )
+
+
+def ubs_storage(way_sizes: Sequence[int], sets: int = 64,
+                granularity: int = 4,
+                predictor_ways: int = 1,
+                addr_bits: int = PHYSICAL_ADDR_BITS) -> StorageReport:
+    """Table III, right column, generalised to any way list."""
+    n_ways = len(way_sizes)
+    tag = tag_bits(sets, TRANSFER_BLOCK, addr_bits)
+    lru = math.ceil(math.log2(n_ways)) if n_ways > 1 else 0
+    data_tag_bits = n_ways * (tag + lru + 1)
+    predictor_tag_bits = predictor_ways * (tag + 1)  # direct-mapped: no LRU
+    offsets = sum(start_offset_bits(w, granularity) for w in way_sizes)
+    bitvector = predictor_ways * (TRANSFER_BLOCK // granularity)
+    return StorageReport(
+        name=f"UBS {n_ways}-way",
+        tag_metadata_bits_per_set=data_tag_bits + predictor_tag_bits,
+        start_offset_bits_per_set=offsets,
+        bitvector_bits_per_set=bitvector,
+        data_bytes_per_set=sum(way_sizes) + predictor_ways * TRANSFER_BLOCK,
+        sets=sets,
+    )
+
+
+def ubs_overhead_kib(way_sizes: Sequence[int], sets: int = 64) -> float:
+    """UBS total storage minus the 32KB conventional baseline (Table III
+    reports 2.46 KB for the default configuration)."""
+    return (ubs_storage(way_sizes, sets).total_kib
+            - conventional_storage().total_kib)
+
+
+def small_block_storage(block_size: int, size: int = 32 * 1024,
+                        ways: int = 8) -> StorageReport:
+    """Storage of the Section VI-G small-block baselines (16B/32B)."""
+    return conventional_storage(size=size, ways=ways, block_size=block_size)

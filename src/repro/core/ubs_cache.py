@@ -1,0 +1,301 @@
+"""The Uneven Block Size (UBS) instruction cache (Section IV).
+
+A set-associative L1-I whose ways hold different block sizes (Table II:
+4..64 bytes). Incoming 64-byte blocks first enter the usefulness
+predictor; on eviction from the predictor, the accessed byte runs become
+sub-blocks installed into ways chosen by size fit, using the modified LRU
+that only considers the four smallest fitting ways (Section IV-F).
+
+Faithfully modelled behaviours:
+
+* tag + ``start_offset`` containment lookup with partial-miss taxonomy —
+  missing sub-block / overrun / underrun (Section IV-E, Figs. 5 and 6);
+* duplication avoidance: on a partial miss the resident sub-blocks are
+  invalidated and their bytes marked useful in the (incoming) predictor
+  bit-vector (Section IV-G);
+* trailing/leading fill: a way larger than its sub-block is topped up with
+  the neighbouring bytes (Section IV-F). ``start_offset`` is clamped to
+  ``64 - way_size`` so a sub-block always fits entirely inside its way —
+  this is what makes the paper's start-offset encodings (Table III)
+  sufficient.
+
+One deliberate simplification: when two accessed runs of the same block
+are installed in one batch and the fill bytes of the first span partially
+overlap the second run, we keep both ways rather than re-splitting; the
+useful (accessed) bytes themselves are always disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..memory.icache import InstructionCacheBase, LookupResult, MissKind
+from ..memory.replacement import LRUPolicy
+from ..params import TRANSFER_BLOCK, UBSParams
+from .predictor import PredictorConfig, UsefulnessPredictor
+from .subblock import extract_runs, mask_of_run
+
+
+class UBSICache(InstructionCacheBase):
+    """Uneven Block Size L1 instruction cache."""
+
+    def __init__(self, params: Optional[UBSParams] = None,
+                 predictor_config: Optional[PredictorConfig] = None) -> None:
+        params = params or UBSParams()
+        super().__init__(params.latency, params.mshr_entries)
+        self.params = params
+        self.way_sizes = params.way_sizes
+        self.n_ways = len(params.way_sizes)
+        self.sets = params.sets
+        self._index_mask = self.sets - 1
+        self.granularity = params.instruction_granularity
+        if predictor_config is None:
+            predictor_config = PredictorConfig(
+                sets=params.predictor_sets,
+                ways=params.predictor_ways,
+                policy=params.predictor_policy,
+            )
+        self.predictor = UsefulnessPredictor(predictor_config)
+        if params.replacement == "ghrp":
+            from ..memory.ghrp import GHRPPolicy
+            self.policy = GHRPPolicy(self.sets, self.n_ways)
+        else:
+            self.policy = LRUPolicy(self.sets, self.n_ways)
+        self._candidate_window = params.candidate_window
+
+        n, w = self.sets, self.n_ways
+        self._tags: List[List[Optional[int]]] = [[None] * w for _ in range(n)]
+        self._start: List[List[int]] = [[0] * w for _ in range(n)]
+        self._span_end: List[List[int]] = [[0] * w for _ in range(n)]
+        self._useful: List[List[int]] = [[0] * w for _ in range(n)]
+        self._reused: List[List[bool]] = [[False] * w for _ in range(n)]
+
+        # Useful bits carried from invalidated sub-blocks of blocks whose
+        # refetch is still outstanding (Section IV-G).
+        self._pending_bits: Dict[int, int] = {}
+
+        # Smallest way whose capacity fits a sub-block of each length.
+        # Runs longer than the largest way are split at install time.
+        self._max_way = self.way_sizes[-1]
+        fit = [0] * (TRANSFER_BLOCK + 1)
+        way = 0
+        for length in range(1, self._max_way + 1):
+            while self.way_sizes[way] < length:
+                way += 1
+            fit[length] = way
+        for length in range(self._max_way + 1, TRANSFER_BLOCK + 1):
+            fit[length] = self.n_ways - 1
+        self._fit = fit
+
+        self.partial_missing = 0
+        self.partial_overrun = 0
+        self.partial_underrun = 0
+        self.way_evictions = 0
+        self.subblocks_installed = 0
+        self.blocks_discarded = 0     # predictor victims with no used bytes
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(self, addr: int, nbytes: int) -> LookupResult:
+        block = addr >> 6
+        block_addr = block << 6
+        off = addr - block_addr
+        end_off = off + nbytes
+        if end_off > TRANSFER_BLOCK:
+            raise SimulationError(
+                f"fetch range {addr:#x}+{nbytes} crosses a block boundary"
+            )
+
+        # The predictor is looked up in parallel with the ways; a request
+        # hits in at most one of the two (Section IV-E).
+        if self.predictor.mark(block, off, nbytes):
+            self.hits += 1
+            return LookupResult(MissKind.HIT, block_addr)
+
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        starts = self._start[set_idx]
+        spans = self._span_end[set_idx]
+        match_ways = [w for w in range(self.n_ways) if tags[w] == block]
+
+        for way in match_ways:
+            if starts[way] <= off and end_off <= spans[way]:
+                self.hits += 1
+                self._reused[set_idx][way] = True
+                self._useful[set_idx][way] |= ((1 << nbytes) - 1) << off
+                self.policy.on_hit(set_idx, way, addr)
+                return LookupResult(MissKind.HIT, block_addr)
+
+        self.misses += 1
+        if not match_ways:
+            return LookupResult(MissKind.FULL_MISS, block_addr)
+
+        last = end_off - 1
+        start_present = any(starts[w] <= off < spans[w] for w in match_ways)
+        end_present = any(starts[w] <= last < spans[w] for w in match_ways)
+        if start_present:
+            kind = MissKind.OVERRUN
+            if self.recording:
+                self.partial_overrun += 1
+        elif end_present:
+            kind = MissKind.UNDERRUN
+            if self.recording:
+                self.partial_underrun += 1
+        else:
+            kind = MissKind.MISSING_SUBBLOCK
+            if self.recording:
+                self.partial_missing += 1
+
+        # Duplication avoidance (Section IV-G): invalidate the resident
+        # sub-blocks now and remember their useful bytes for the incoming
+        # copy of the block.
+        carried = 0
+        for way in match_ways:
+            carried |= self._useful[set_idx][way]
+            self._evict_way(set_idx, way)
+        if carried:
+            self._pending_bits[block] = self._pending_bits.get(block, 0) | carried
+
+        return LookupResult(kind, block_addr)
+
+    # -- fills ------------------------------------------------------------------
+
+    def fill(self, block_addr: int, prefetch: bool = False) -> None:
+        block = block_addr >> 6
+        pending = self._pending_bits.pop(block, 0)
+        if self.predictor.contains(block):
+            if pending:
+                self.predictor.mark_bits(block, pending)
+            return
+        # A prefetch may land while sub-blocks of the block are resident
+        # (the prefetch was issued for a missing range). Treat it like the
+        # partial-miss flow: absorb and invalidate the resident sub-blocks.
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        for way in range(self.n_ways):
+            if tags[way] == block:
+                pending |= self._useful[set_idx][way]
+                self._evict_way(set_idx, way)
+
+        victim = self.predictor.insert(block, pending)
+        if victim is not None:
+            self._install_victim(victim[0], victim[1])
+
+    def _evict_way(self, set_idx: int, way: int) -> None:
+        if self._tags[set_idx][way] is None:
+            return
+        self.way_evictions += 1
+        self.policy.on_evict(set_idx, way,
+                             self._tags[set_idx][way] << 6,
+                             self._reused[set_idx][way])
+        self._tags[set_idx][way] = None
+        self._useful[set_idx][way] = 0
+        self._reused[set_idx][way] = False
+
+    def _install_victim(self, block: int, mask: int) -> None:
+        """Move a predictor victim's accessed runs into the ways."""
+        if mask == 0:
+            self.blocks_discarded += 1
+            return
+        set_idx = block & self._index_mask
+        granularity = self.granularity
+        installed: List[Tuple[int, int, int]] = []  # (start, span_end, way)
+        runs = extract_runs(mask, granularity,
+                            merge_gap=self.params.run_merge_gap)
+        if any(length > self._max_way for _start, length in runs):
+            # Configurations without a 64-byte way split oversized runs
+            # into largest-way-sized pieces.
+            split = []
+            for start, length in runs:
+                while length > self._max_way:
+                    split.append((start, self._max_way))
+                    start += self._max_way
+                    length -= self._max_way
+                split.append((start, length))
+            runs = split
+        for run_start, run_len in runs:
+            run_mask = mask_of_run(run_start, run_len)
+            absorbed = False
+            for ws, wend, way in installed:
+                if ws <= run_start and run_start + run_len <= wend:
+                    self._useful[set_idx][way] |= run_mask
+                    absorbed = True
+                    break
+            if absorbed:
+                continue
+            first_fit = self._fit[run_len]
+            candidates = range(
+                first_fit,
+                min(first_fit + self._candidate_window, self.n_ways),
+            )
+            tags = self._tags[set_idx]
+            invalid = [w for w in candidates if tags[w] is None]
+            if invalid:
+                way = invalid[0]
+            else:
+                way = self.policy.victim(set_idx, candidates)
+            self._evict_way(set_idx, way)
+            size = self.way_sizes[way]
+            start = min(run_start, TRANSFER_BLOCK - size)
+            start -= start % granularity
+            span_end = start + size
+            self._tags[set_idx][way] = block
+            self._start[set_idx][way] = start
+            self._span_end[set_idx][way] = span_end
+            self._useful[set_idx][way] = run_mask
+            self._reused[set_idx][way] = False
+            self.policy.on_fill(set_idx, way, block << 6)
+            self.subblocks_installed += 1
+            installed.append((start, span_end, way))
+
+    # -- probes / snapshots -------------------------------------------------------
+
+    def probe_range(self, addr: int, nbytes: int) -> bool:
+        block = addr >> 6
+        if self.predictor.contains(block):
+            return True
+        off = addr & (TRANSFER_BLOCK - 1)
+        end_off = off + nbytes
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        starts = self._start[set_idx]
+        spans = self._span_end[set_idx]
+        return any(
+            tags[w] == block and starts[w] <= off and end_off <= spans[w]
+            for w in range(self.n_ways)
+        )
+
+    def storage_snapshot(self) -> Tuple[int, int]:
+        used, stored = self.predictor.storage_snapshot()
+        sizes = self.way_sizes
+        for set_idx in range(self.sets):
+            tags = self._tags[set_idx]
+            useful = self._useful[set_idx]
+            for way in range(self.n_ways):
+                if tags[way] is not None:
+                    stored += sizes[way]
+                    used += useful[way].bit_count()
+        return used, stored
+
+    def block_count(self) -> int:
+        resident = sum(
+            1 for tags in self._tags for t in tags if t is not None
+        )
+        return resident + self.predictor.block_count()
+
+    @property
+    def partial_misses(self) -> int:
+        return (self.partial_missing + self.partial_overrun
+                + self.partial_underrun)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.partial_missing = 0
+        self.partial_overrun = 0
+        self.partial_underrun = 0
+        self.way_evictions = 0
+        self.subblocks_installed = 0
+        self.blocks_discarded = 0
+        self.predictor.hits = 0
+        self.predictor.evictions = 0

@@ -1,0 +1,6 @@
+"""CPU timing model: out-of-order back-end and the full machine."""
+
+from .backend import Backend
+from .machine import Machine, build_icache
+
+__all__ = ["Backend", "Machine", "build_icache"]

@@ -1,0 +1,107 @@
+"""One-pass out-of-order back-end timing model.
+
+Instructions are accepted in fetch order. For each we compute dispatch
+(ROB-gated), issue (data dependencies through a register scoreboard),
+completion (functional-unit latency; loads/stores are timed through the
+memory hierarchy) and in-order commit bounded by the commit width. This is
+the standard fast approximation of a ChampSim-style core: front-end-bound
+behaviour, dependency chains and memory latency are modelled; scheduler
+port conflicts are not (the paper's results are front-end dominated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..memory.hierarchy import MemoryHierarchy
+from ..params import CoreParams
+from ..trace.record import EXEC_LATENCY, Instruction, InstrKind
+
+
+class Backend:
+    """Scoreboard-based OoO back-end."""
+
+    def __init__(self, params: CoreParams,
+                 hierarchy: MemoryHierarchy) -> None:
+        self.params = params
+        self.hierarchy = hierarchy
+        rob = params.rob_entries
+        self._rob = rob
+        # commit cycle of instruction (count - rob + slot) lives in slot.
+        self._ring: List[int] = [0] * rob
+        self._count = 0
+        self._reg_ready: List[int] = [0] * 64
+        self._last_commit = 0
+        self._commits_this_cycle = 0
+        self.loads = 0
+        self.stores = 0
+
+    @property
+    def instructions(self) -> int:
+        return self._count
+
+    def rob_has_space(self, cycle: int) -> bool:
+        """Can an instruction fetched at ``cycle`` claim a ROB slot?"""
+        if self._count < self._rob:
+            return True
+        # The slot we'd reuse belongs to instruction (count - rob); it must
+        # have committed by the time this instruction dispatches.
+        return self._ring[self._count % self._rob] \
+            <= cycle + self.params.decode_latency
+
+    def rob_free_cycle(self) -> int:
+        """Cycle at which the next ROB slot frees (for stall skip-ahead)."""
+        if self._count < self._rob:
+            return 0
+        return self._ring[self._count % self._rob] - self.params.decode_latency
+
+    def accept(self, instr: Instruction, fetch_cycle: int) -> Tuple[int, int]:
+        """Time one instruction; returns (complete_cycle, commit_cycle)."""
+        params = self.params
+        dispatch = fetch_cycle + params.decode_latency
+        if self._count >= self._rob:
+            slot_free = self._ring[self._count % self._rob]
+            if slot_free > dispatch:
+                dispatch = slot_free
+
+        ready = dispatch
+        reg_ready = self._reg_ready
+        src1 = instr.src1
+        if src1 >= 0 and reg_ready[src1 & 63] > ready:
+            ready = reg_ready[src1 & 63]
+        src2 = instr.src2
+        if src2 >= 0 and reg_ready[src2 & 63] > ready:
+            ready = reg_ready[src2 & 63]
+
+        kind = instr.kind
+        if kind is InstrKind.LOAD:
+            self.loads += 1
+            latency = self.hierarchy.data_access(instr.mem_addr, ready)
+            complete = ready + latency
+        elif kind is InstrKind.STORE:
+            self.stores += 1
+            # Stores retire via the store queue; the pipeline only waits
+            # for address/data readiness.
+            self.hierarchy.data_access(instr.mem_addr, ready, is_store=True)
+            complete = ready + 1
+        else:
+            complete = ready + EXEC_LATENCY[kind]
+
+        dst = instr.dst
+        if dst >= 0:
+            reg_ready[dst & 63] = complete
+
+        commit = complete if complete > self._last_commit else self._last_commit
+        if commit == self._last_commit:
+            if self._commits_this_cycle >= params.commit_width:
+                commit += 1
+                self._commits_this_cycle = 1
+            else:
+                self._commits_this_cycle += 1
+        else:
+            self._commits_this_cycle = 1
+        self._last_commit = commit
+
+        self._ring[self._count % self._rob] = commit
+        self._count += 1
+        return complete, commit

@@ -1,0 +1,32 @@
+"""Exception types raised by the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A structural or parameter configuration is invalid.
+
+    Raised for impossible cache geometries (non-power-of-two set counts,
+    way sizes exceeding the transfer block, empty way lists), inconsistent
+    simulator parameters, or unknown named presets.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or instruction stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the model (e.g. a cache fill for a block
+    with no outstanding MSHR entry), never a user input problem.
+    """

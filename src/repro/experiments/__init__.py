@@ -1,0 +1,11 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Every driver builds on :mod:`repro.experiments.runner`, which caches
+simulation results on disk (``.repro_cache/``) so the full benchmark suite
+only ever simulates each (workload, configuration) pair once.
+"""
+
+from .runner import ResultCache, run_config, run_pair, sweep
+from . import report
+
+__all__ = ["ResultCache", "report", "run_config", "run_pair", "sweep"]

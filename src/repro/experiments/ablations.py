@@ -1,0 +1,65 @@
+"""Ablations of the UBS design choices (beyond the paper's own sweeps).
+
+DESIGN.md calls out three design decisions worth ablating:
+
+* the **run-merge gap** — how aggressively nearby accessed runs are
+  coalesced into one sub-block (0 = strictly maximal runs);
+* the **candidate window** — how many ways the modified LRU considers
+  when placing a sub-block (the paper picks 4 to balance pressure against
+  conflict misses; 1 = strict best-fit, 16 = any fitting way);
+* the **replacement policy** among candidates — the paper conjectures UBS
+  composes with predictive replacement (GHRP).
+
+Run on the server family, where the design choices matter most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..trace.workloads import WorkloadFamily, workload_names
+from .report import geomean, mean
+from .runner import run_pair
+
+#: label -> configuration name
+ABLATIONS = {
+    "gap=0 (maximal runs)": "ubs_gap0",
+    "gap=8": "ubs_gap8",
+    "gap=12 (default)": "ubs",
+    "window=1 (best fit)": "ubs_win1",
+    "window=4 (default)": "ubs",
+    "window=16 (any fit)": "ubs_win16",
+    "repl=LRU (default)": "ubs",
+    "repl=GHRP": "ubs_ghrp",
+}
+
+#: A representative server subset keeps the ablation affordable.
+DEFAULT_WORKLOADS = tuple(workload_names(WorkloadFamily.SERVER)[:6])
+
+
+def run(workloads: Sequence[str] = DEFAULT_WORKLOADS) -> Dict[str, Dict[str, float]]:
+    """label -> {speedup (geomean), coverage (mean)} over conv32."""
+    out: Dict[str, Dict[str, float]] = {}
+    bases = {name: run_pair(name, "conv32") for name in workloads}
+    for label, config in ABLATIONS.items():
+        results = [run_pair(name, config) for name in workloads]
+        out[label] = {
+            "speedup": geomean(r.speedup_over(bases[r.workload])
+                               for r in results),
+            "coverage": mean(r.stall_coverage_over(bases[r.workload])
+                             for r in results),
+            "partial_fraction": mean(
+                r.frontend.partial_misses / max(1, r.frontend.l1i_misses)
+                for r in results),
+        }
+    return out
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["UBS design-choice ablations (server subset, vs conv-32KB)"]
+    lines.append(f"  {'variant':24s} {'speedup':>8s} {'coverage':>9s} "
+                 f"{'partial%':>9s}")
+    for label, row in data.items():
+        lines.append(f"  {label:24s} {row['speedup']:8.3f} "
+                     f"{row['coverage']:9.1%} {row['partial_fraction']:9.1%}")
+    return "\n".join(lines)

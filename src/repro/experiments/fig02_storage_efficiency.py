@@ -1,0 +1,55 @@
+"""Figure 2 — storage-efficiency distribution of the baseline 32 KB L1-I.
+
+The violin chart data: periodic samples of (accessed bytes / stored
+bytes) per workload, plus per-family averages. We report the distribution
+summary (mean/min/max/quartiles) per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..stats.efficiency import EfficiencySummary
+from ..trace.workloads import WorkloadFamily, workload_names
+from .report import mean
+from .runner import run_pair
+
+FAMILIES = (WorkloadFamily.GOOGLE, WorkloadFamily.CLIENT,
+            WorkloadFamily.SERVER, WorkloadFamily.SPEC)
+
+CONFIG = "conv32"
+
+
+def run(config: str = CONFIG) -> Dict[str, Dict[str, EfficiencySummary]]:
+    """family -> workload -> efficiency summary."""
+    out: Dict[str, Dict[str, EfficiencySummary]] = {}
+    for family in FAMILIES:
+        out[family] = {}
+        for name in workload_names(family):
+            result = run_pair(name, config)
+            if result.efficiency is not None:
+                out[family][name] = result.efficiency
+    return out
+
+
+def family_means(data: Dict[str, Dict[str, EfficiencySummary]]) -> Dict[str, float]:
+    return {
+        family: mean(s.mean for s in summaries.values())
+        for family, summaries in data.items() if summaries
+    }
+
+
+def format(data: Dict[str, Dict[str, EfficiencySummary]],
+           title: str = "Figure 2: storage efficiency of the 32KB "
+                        "conventional L1-I") -> str:
+    lines = [title]
+    for family, summaries in data.items():
+        for name, s in sorted(summaries.items()):
+            lines.append(
+                f"  {name:14s} mean {s.mean:.2f}  min {s.minimum:.2f}  "
+                f"p25 {s.p25:.2f}  median {s.median:.2f}  "
+                f"p75 {s.p75:.2f}  max {s.maximum:.2f}"
+            )
+    for family, value in family_means(data).items():
+        lines.append(f"  avg {family}: {value:.2f}")
+    return "\n".join(lines)

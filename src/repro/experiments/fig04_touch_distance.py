@@ -1,0 +1,49 @@
+"""Figure 4 — fraction of a block's eventually-accessed bytes that are
+touched before the next 1..4 misses in the same set.
+
+This is the analysis that justifies the usefulness predictor: the paper
+measures 89.8-94.6% of accessed bytes are touched before the very next
+set miss, so observing a block until the next miss in its set captures
+nearly all of its useful bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..trace.workloads import WorkloadFamily, workload_names
+from .report import mean
+from .runner import run_pair
+
+FAMILIES = (WorkloadFamily.GOOGLE, WorkloadFamily.CLIENT,
+            WorkloadFamily.SERVER, WorkloadFamily.SPEC)
+
+
+def run() -> Dict[str, Dict[int, float]]:
+    """family -> {n: fraction touched before the n-th set miss}."""
+    out: Dict[str, Dict[int, float]] = {}
+    for family in FAMILIES:
+        per_n: Dict[int, list] = {1: [], 2: [], 3: [], 4: []}
+        for name in workload_names(family):
+            result = run_pair(name, "conv32")
+            touch = result.extra.get("touch_distance")
+            if not touch:
+                continue
+            for n in range(1, 5):
+                value = touch.get(str(n), 0.0)
+                if value > 0:
+                    per_n[n].append(value)
+        out[family] = {n: mean(vals) for n, vals in per_n.items() if vals}
+    return out
+
+
+def format(data: Dict[str, Dict[int, float]]) -> str:
+    lines = ["Figure 4: accessed bytes touched before the next n misses "
+             "in the same set"]
+    for family, per_n in data.items():
+        if not per_n:
+            lines.append(f"  {family:8s} (no set misses at this scale)")
+            continue
+        row = "  ".join(f"n={n}:{per_n.get(n, 0.0):.3f}" for n in range(1, 5))
+        lines.append(f"  {family:8s} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Figure 7 — storage efficiency of the UBS cache.
+
+Same sampling methodology as Figure 2, applied to the default UBS
+configuration. The paper reports 72-75% family averages versus 41-60%
+for the conventional baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..stats.efficiency import EfficiencySummary
+from . import fig02_storage_efficiency as fig02
+
+
+def run() -> Dict[str, Dict[str, EfficiencySummary]]:
+    return fig02.run(config="ubs")
+
+
+def family_means(data: Dict[str, Dict[str, EfficiencySummary]]) -> Dict[str, float]:
+    return fig02.family_means(data)
+
+
+def improvement_over_baseline() -> Dict[str, float]:
+    """Percentage-point gain of UBS over the conventional cache per
+    family (the paper's headline is +32pp on average)."""
+    base = fig02.family_means(fig02.run())
+    ubs = fig02.family_means(run())
+    return {f: (ubs[f] - base[f]) * 100 for f in ubs if f in base}
+
+
+def format(data: Dict[str, Dict[str, EfficiencySummary]]) -> str:
+    return fig02.format(data, title="Figure 7: storage efficiency of UBS")

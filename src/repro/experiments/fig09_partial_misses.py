@@ -1,0 +1,59 @@
+"""Figure 9 — distribution of UBS partial misses.
+
+Partial misses (Section IV-E) split into missing sub-block, overrun and
+underrun; the paper reports 18.2-26.6% of all misses being partial,
+dominated by missing sub-blocks and overruns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .report import by_family, mean, perf_workloads
+from .runner import run_pair
+
+CATEGORIES = ("missing_subblock", "overrun", "underrun")
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """workload -> {category fractions of all misses + total partial}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in perf_workloads():
+        fe = run_pair(name, "ubs").frontend
+        total = max(1, fe.l1i_misses)
+        out[name] = {
+            "missing_subblock": fe.l1i_partial_missing / total,
+            "overrun": fe.l1i_partial_overrun / total,
+            "underrun": fe.l1i_partial_underrun / total,
+            "partial": fe.partial_misses / total,
+            "misses": float(fe.l1i_misses),
+        }
+    return out
+
+
+def family_averages(data: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    out = {}
+    for family, names in by_family(list(data)).items():
+        out[family] = {
+            key: mean(data[n][key] for n in names)
+            for key in CATEGORIES + ("partial",)
+        }
+    return out
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 9: partial miss distribution (fraction of all misses)"]
+    for name in sorted(data):
+        row = data[name]
+        lines.append(
+            f"  {name:14s} partial {row['partial']:6.1%}  "
+            f"missing {row['missing_subblock']:6.1%}  "
+            f"overrun {row['overrun']:6.1%}  underrun {row['underrun']:6.1%}"
+        )
+    for family, avgs in family_averages(data).items():
+        lines.append(
+            f"  avg {family:10s} partial {avgs['partial']:6.1%}  "
+            f"missing {avgs['missing_subblock']:6.1%}  "
+            f"overrun {avgs['overrun']:6.1%}  underrun {avgs['underrun']:6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Figure 10 — performance of UBS and a 64 KB L1-I over the 32 KB baseline.
+
+The paper reports UBS delivering ~5.6% geomean speedup on server
+workloads versus 6.3% for the 64 KB cache, i.e. ~89% of the benefit of
+doubling the cache at roughly half the storage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+CONFIGS = ("ubs", "conv64")
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """workload -> {config: speedup over conv32}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in perf_workloads():
+        base = run_pair(name, "conv32")
+        out[name] = {
+            config: run_pair(name, config).speedup_over(base)
+            for config in CONFIGS
+        }
+    return out
+
+
+def family_geomeans(data: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    out = {}
+    for family, names in by_family(list(data)).items():
+        out[family] = {
+            config: geomean(data[n][config] for n in names)
+            for config in CONFIGS
+        }
+    return out
+
+
+def ubs_fraction_of_64k(data: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """How much of the 64KB cache's speedup UBS captures, per family."""
+    out = {}
+    for family, g in family_geomeans(data).items():
+        gain64 = g["conv64"] - 1.0
+        out[family] = (g["ubs"] - 1.0) / gain64 if gain64 > 0 else 0.0
+    return out
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 10: speedup over the 32KB conventional baseline"]
+    for name in sorted(data):
+        row = data[name]
+        lines.append(f"  {name:14s} UBS {row['ubs']:.3f}   "
+                     f"64KB {row['conv64']:.3f}")
+    for family, g in family_geomeans(data).items():
+        lines.append(f"  geomean {family:10s} UBS {g['ubs']:.3f}   "
+                     f"64KB {g['conv64']:.3f}")
+    return "\n".join(lines)

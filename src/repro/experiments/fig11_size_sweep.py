@@ -1,0 +1,63 @@
+"""Figure 11 — UBS vs conventional L1-I across storage budgets.
+
+Geomean speedup over a 16 KB conventional cache, for conventional caches
+of 16/32/64/128/192 KB and UBS configurations scaled to ~16/20/32/64/128
+KB data budgets. The paper's findings: a 20 KB UBS outperforms a 32 KB
+conventional cache on server workloads, and at iso-budget UBS always
+wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+#: (label, config, approximate data budget in KB)
+CONV_POINTS: List[Tuple[str, str, int]] = [
+    ("conv-16KB", "conv16", 16),
+    ("conv-32KB", "conv32", 32),
+    ("conv-64KB", "conv64", 64),
+    ("conv-128KB", "conv128", 128),
+    ("conv-192KB", "conv192", 192),
+]
+UBS_POINTS: List[Tuple[str, str, int]] = [
+    ("ubs-16KB", "ubs_budget16", 16),
+    ("ubs-20KB", "ubs_budget20", 20),
+    ("ubs-32KB", "ubs", 32),
+    ("ubs-64KB", "ubs_budget64", 64),
+    ("ubs-128KB", "ubs_budget128", 128),
+]
+
+BASELINE = "conv16"
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """family -> {point label: geomean speedup over the 16KB baseline}."""
+    names = perf_workloads()
+    speedups: Dict[str, Dict[str, float]] = {n: {} for n in names}
+    for name in names:
+        base = run_pair(name, BASELINE)
+        for label, config, _kb in CONV_POINTS + UBS_POINTS:
+            speedups[name][label] = run_pair(name, config).speedup_over(base)
+    out: Dict[str, Dict[str, float]] = {}
+    for family, members in by_family(names).items():
+        out[family] = {
+            label: geomean(speedups[n][label] for n in members)
+            for label, _c, _kb in CONV_POINTS + UBS_POINTS
+        }
+    return out
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 11: geomean speedup over a 16KB conventional L1-I"]
+    for family, points in data.items():
+        lines.append(f"  {family}:")
+        conv = "  ".join(f"{l.split('-')[1]}:{points[l]:.3f}"
+                         for l, _c, _k in CONV_POINTS)
+        ubs = "  ".join(f"{l.split('-')[1]}:{points[l]:.3f}"
+                        for l, _c, _k in UBS_POINTS)
+        lines.append(f"    conv  {conv}")
+        lines.append(f"    UBS   {ubs}")
+    return "\n".join(lines)

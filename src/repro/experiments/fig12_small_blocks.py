@@ -1,0 +1,54 @@
+"""Figure 12 — UBS versus smaller-block-size conventional caches.
+
+16B- and 32B-block caches (with 64B L2 transfers staged through a fill
+buffer, Section VI-G) compared against UBS at similar total storage
+(37.5 / 35.75 / 36.34 KB). The paper finds UBS provides about twice their
+speedup on server workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.storage import small_block_storage, ubs_storage
+from ..params import DEFAULT_UBS_WAY_SIZES
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+CONFIGS = ("small16", "small32", "ubs")
+
+
+def storage_budgets() -> Dict[str, float]:
+    """Total storage (KiB, data + metadata) of the three designs."""
+    return {
+        "small16": small_block_storage(16).total_kib,
+        "small32": small_block_storage(32).total_kib,
+        "ubs": ubs_storage(DEFAULT_UBS_WAY_SIZES).total_kib,
+    }
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """family -> {config: geomean speedup over conv32}."""
+    names = perf_workloads()
+    per_wl: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        base = run_pair(name, "conv32")
+        per_wl[name] = {
+            config: run_pair(name, config).speedup_over(base)
+            for config in CONFIGS
+        }
+    return {
+        family: {c: geomean(per_wl[n][c] for n in members) for c in CONFIGS}
+        for family, members in by_family(names).items()
+    }
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    budgets = storage_budgets()
+    lines = ["Figure 12: geomean speedup over 64B-block conv-L1I "
+             f"(budgets: 16B={budgets['small16']:.1f}KiB "
+             f"32B={budgets['small32']:.1f}KiB ubs={budgets['ubs']:.1f}KiB)"]
+    for family, row in data.items():
+        lines.append(f"  {family:8s} 16B-block {row['small16']:.3f}  "
+                     f"32B-block {row['small32']:.3f}  UBS {row['ubs']:.3f}")
+    return "\n".join(lines)

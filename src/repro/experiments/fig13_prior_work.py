@@ -1,0 +1,45 @@
+"""Figure 13 — comparison against prior work.
+
+GHRP (predictive replacement), ACIC (admission control) and Line
+Distillation (adapted to the L1-I) versus UBS, all relative to the 32 KB
+LRU baseline. The paper finds all three help on server workloads but less
+than UBS; Line Distillation slightly hurts client/SPEC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+CONFIGS = ("conv32_ghrp", "conv32_acic", "distill32", "ubs")
+LABELS = {
+    "conv32_ghrp": "GHRP",
+    "conv32_acic": "ACIC",
+    "distill32": "LineDistill",
+    "ubs": "UBS",
+}
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    names = perf_workloads()
+    per_wl: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        base = run_pair(name, "conv32")
+        per_wl[name] = {
+            config: run_pair(name, config).speedup_over(base)
+            for config in CONFIGS
+        }
+    return {
+        family: {c: geomean(per_wl[n][c] for n in members) for c in CONFIGS}
+        for family, members in by_family(names).items()
+    }
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 13: geomean speedup of UBS and prior work over conv-L1I"]
+    for family, row in data.items():
+        cells = "  ".join(f"{LABELS[c]} {row[c]:.3f}" for c in CONFIGS)
+        lines.append(f"  {family:8s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Figure 15 — impact of the usefulness predictor's organisation.
+
+Direct-mapped 64 entries (default), direct-mapped 128 entries, 8-way
+set-associative with LRU and with FIFO, and fully associative. The paper
+finds all perform similarly; set-associative LRU slightly trails because
+hot blocks linger in the predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+CONFIGS = ("ubs", "ubs_pred_dm128", "ubs_pred_sa8lru",
+           "ubs_pred_sa8fifo", "ubs_pred_full")
+LABELS = {
+    "ubs": "DM-64",
+    "ubs_pred_dm128": "DM-128",
+    "ubs_pred_sa8lru": "SA8-LRU",
+    "ubs_pred_sa8fifo": "SA8-FIFO",
+    "ubs_pred_full": "Full-assoc",
+}
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    names = perf_workloads()
+    per_wl: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        base = run_pair(name, "conv32")
+        per_wl[name] = {
+            config: run_pair(name, config).speedup_over(base)
+            for config in CONFIGS
+        }
+    return {
+        family: {c: geomean(per_wl[n][c] for n in members) for c in CONFIGS}
+        for family, members in by_family(names).items()
+    }
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 15: UBS speedup over conv-L1I per predictor design"]
+    for family, row in data.items():
+        cells = "  ".join(f"{LABELS[c]} {row[c]:.3f}" for c in CONFIGS)
+        lines.append(f"  {family:8s} {cells}")
+    return "\n".join(lines)

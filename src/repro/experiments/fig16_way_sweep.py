@@ -1,0 +1,52 @@
+"""Figure 16 — sensitivity to the number and sizes of UBS ways.
+
+10/12/14/16/18-way configurations in two sizing flavours (config1 keeps
+more small ways; config2 spreads sizes evenly — the 14-way lists come
+verbatim from the paper), plus a conventional 32 KB cache reorganised as
+16 ways x 32 sets. The paper sees little variation beyond 12 ways and a
+negligible gain for the 16-way conventional cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .report import by_family, geomean, perf_workloads
+from .runner import run_pair
+
+SWEEP: List[Tuple[str, str]] = [
+    ("10-way c1", "ubs_ways10c1"), ("10-way c2", "ubs_ways10c2"),
+    ("12-way c1", "ubs_ways12c1"), ("12-way c2", "ubs_ways12c2"),
+    ("14-way c1", "ubs_ways14c1"), ("14-way c2", "ubs_ways14c2"),
+    ("16-way c1", "ubs"), ("16-way c2", "ubs_ways16c2"),
+    ("18-way c1", "ubs_ways18c1"), ("18-way c2", "ubs_ways18c2"),
+    ("conv 16w", "conv32_16w"),
+]
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    names = perf_workloads()
+    per_wl: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        base = run_pair(name, "conv32")
+        per_wl[name] = {
+            label: run_pair(name, config).speedup_over(base)
+            for label, config in SWEEP
+        }
+    return {
+        family: {
+            label: geomean(per_wl[n][label] for n in members)
+            for label, _config in SWEEP
+        }
+        for family, members in by_family(names).items()
+    }
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 16: geomean speedup over 32KB conv-L1I per way "
+             "configuration"]
+    for family, row in data.items():
+        lines.append(f"  {family}:")
+        for label, _config in SWEEP:
+            lines.append(f"    {label:10s} {row[label]:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Prefill the result cache for every experiment.
+
+Usage::
+
+    python -m repro.experiments.run_all [--list] [--jobs N]
+
+Runs every (workload, configuration) pair any benchmark needs, reusing
+the on-disk cache; safe to interrupt and resume. Pairs are grouped by
+workload so each trace is generated/loaded once per group. With
+``--jobs N`` the workload groups are simulated in N worker processes
+(results land in the same on-disk cache; simulation is deterministic so
+the parallel and serial fills are identical).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from ..trace.workloads import WorkloadFamily, get_workload, workload_names
+from .report import perf_workloads
+from .runner import default_cache, run_pair
+
+
+def all_pairs() -> List[Tuple[str, str]]:
+    """Every (workload, config) pair the benchmark suite touches."""
+    perf = perf_workloads()
+    google = workload_names(WorkloadFamily.GOOGLE)
+    cvp = (workload_names(WorkloadFamily.CVP_SERVER)
+           + workload_names(WorkloadFamily.CVP_FP)
+           + workload_names(WorkloadFamily.CVP_INT))
+
+    pairs: List[Tuple[str, str]] = []
+
+    def add(workloads, configs):
+        for w in workloads:
+            for c in configs:
+                if (w, c) not in seen:
+                    seen.add((w, c))
+                    pairs.append((w, c))
+
+    seen: set = set()
+    # Core figures first (1/2/4/7/8/9/10).
+    add(perf + google, ("conv32", "ubs"))
+    add(perf, ("conv64",))
+    # Fig. 11 size sweep.
+    add(perf, ("conv16", "conv128", "conv192",
+               "ubs_budget16", "ubs_budget20", "ubs_budget64",
+               "ubs_budget128"))
+    # Fig. 12 small blocks, Fig. 13 prior work.
+    add(perf, ("small16", "small32"))
+    add(perf, ("conv32_ghrp", "conv32_acic", "distill32"))
+    # Fig. 15 predictor organisations.
+    add(perf, ("ubs_pred_dm128", "ubs_pred_sa8lru", "ubs_pred_sa8fifo",
+               "ubs_pred_full"))
+    # Fig. 16 way sweep.
+    add(perf, ("ubs_ways10c1", "ubs_ways10c2", "ubs_ways12c1",
+               "ubs_ways12c2", "ubs_ways14c1", "ubs_ways14c2",
+               "ubs_ways16c2", "ubs_ways18c1", "ubs_ways18c2",
+               "conv32_16w"))
+    # Section VI-L held-out traces.
+    add(cvp, ("conv32", "conv64", "ubs"))
+    # Headroom bound + design ablations.
+    from .ablations import DEFAULT_WORKLOADS as ablation_workloads
+    add(perf, ("ideal",))
+    add(ablation_workloads,
+        ("ubs_gap0", "ubs_gap8", "ubs_win1", "ubs_win16", "ubs_ghrp"))
+    return pairs
+
+
+def _fill_group(workload: str, configs: List[str]) -> int:
+    """Worker: simulate one workload's missing configurations."""
+    cache = default_cache()
+    trace = cache.trace_for(get_workload(workload))
+    for config in configs:
+        run_pair(workload, config, trace=trace)
+    return len(configs)
+
+
+def main(argv: List[str]) -> int:
+    pairs = all_pairs()
+    if "--list" in argv:
+        for w, c in pairs:
+            print(w, c)
+        return 0
+    jobs = 1
+    if "--jobs" in argv:
+        jobs = max(1, int(argv[argv.index("--jobs") + 1]))
+    cache = default_cache()
+    todo = [(w, c) for w, c in pairs if cache.load(w, c) is None]
+    print(f"{len(pairs)} pairs total, {len(todo)} to simulate "
+          f"({jobs} job{'s' if jobs > 1 else ''})", flush=True)
+    # Group by workload for trace reuse inside run_pair's cache.
+    by_workload: Dict[str, List[str]] = {}
+    for w, c in todo:
+        by_workload.setdefault(w, []).append(c)
+    done = 0
+    start = time.time()
+
+    def progress(workload: str, count: int) -> None:
+        nonlocal done
+        done += count
+        elapsed = time.time() - start
+        rate = done / elapsed if elapsed else 0.0
+        remaining = (len(todo) - done) / rate if rate else float("inf")
+        print(f"[{done}/{len(todo)}] {workload} group done "
+              f"({elapsed:.0f}s elapsed, ~{remaining:.0f}s left)",
+              flush=True)
+
+    if jobs == 1:
+        for workload, configs in by_workload.items():
+            _fill_group(workload, configs)
+            progress(workload, len(configs))
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_fill_group, workload, configs): workload
+                for workload, configs in by_workload.items()
+            }
+            for future in as_completed(futures):
+                progress(futures[future], future.result())
+    print("done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

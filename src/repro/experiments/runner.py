@@ -1,0 +1,158 @@
+"""Cached simulation runner shared by every benchmark.
+
+``run_pair(workload, config)`` simulates one workload against one L1-I
+configuration and caches the :class:`~repro.stats.counters.SimResult` as
+JSON under ``.repro_cache/results/``. Generated traces are cached too
+(``.repro_cache/traces/``), because trace synthesis is a visible fraction
+of each run. The cache key includes a model version stamp — bump
+:data:`RESULTS_VERSION` whenever simulator semantics change.
+
+Baseline ``conv32`` runs always collect the motivation-analysis extras
+(byte-usage histogram with end-of-run resident flush, Fig. 4 touch
+distances), so the analysis figures reuse the same simulations as the
+performance figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cpu.machine import Machine, build_icache
+from ..memory.icache import ConventionalICache
+from ..stats.counters import SimResult
+from ..trace.io import read_trace, write_trace
+from ..trace.record import Instruction
+from ..trace.workloads import Workload, get_workload, scale_factor
+
+#: Bump when any change alters simulation results.
+RESULTS_VERSION = 9
+
+_DEF_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+class ResultCache:
+    """Disk cache of simulation results and generated traces."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root else _DEF_CACHE_DIR
+        (self.root / "results").mkdir(parents=True, exist_ok=True)
+        (self.root / "traces").mkdir(parents=True, exist_ok=True)
+
+    def _result_path(self, workload: str, config: str) -> Path:
+        scale = scale_factor()
+        key = f"{workload}__{config}__v{RESULTS_VERSION}__s{scale:g}.json"
+        return self.root / "results" / key
+
+    def _trace_path(self, workload: str) -> Path:
+        scale = scale_factor()
+        return self.root / "traces" / f"{workload}__s{scale:g}.trace.gz"
+
+    def load(self, workload: str, config: str) -> Optional[SimResult]:
+        path = self._result_path(workload, config)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as fh:
+                return SimResult.from_dict(json.load(fh))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, result: SimResult) -> None:
+        path = self._result_path(result.workload, result.config)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(result.to_dict(), fh)
+        tmp.replace(path)
+
+    def trace_for(self, workload: Workload) -> List[Instruction]:
+        path = self._trace_path(workload.name)
+        if path.exists():
+            try:
+                return read_trace(path)
+            except Exception:
+                path.unlink(missing_ok=True)
+        trace = workload.generate()
+        write_trace(path, trace)
+        return trace
+
+
+_default_cache = None
+
+
+def default_cache() -> ResultCache:
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache
+
+
+def _simulate(workload: Workload, config: str,
+              trace: Optional[Sequence[Instruction]] = None) -> SimResult:
+    cache = default_cache()
+    if trace is None:
+        trace = cache.trace_for(workload)
+    warmup, measure = workload.windows()
+    icache = build_icache(config)
+    analysis = isinstance(icache, ConventionalICache) and config == "conv32"
+    if analysis:
+        icache.track_touch_distance = True
+    machine = Machine(trace, icache)
+    result = machine.run(warmup, measure)
+    result.workload = workload.name
+    result.config = config
+    if analysis:
+        # End-of-run flush so low-MPKI workloads (whose blocks are never
+        # evicted) still contribute lifetime byte-usage counts.
+        icache.flush_residents_into_stats()
+        result.extra["byte_usage_counts"] = list(icache.byte_usage.counts)
+        result.extra["touch_distance"] = {
+            str(n): icache.touch_distance.fraction(n) for n in range(1, 5)
+        }
+    return result
+
+
+def run_pair(workload_name: str, config: str,
+             trace: Optional[Sequence[Instruction]] = None) -> SimResult:
+    """Cached simulation of one (workload, config) pair."""
+    cache = default_cache()
+    hit = cache.load(workload_name, config)
+    if hit is not None:
+        return hit
+    result = _simulate(get_workload(workload_name), config, trace)
+    cache.store(result)
+    return result
+
+
+def run_config(workloads: Sequence[str], config: str) -> List[SimResult]:
+    """Cached simulation of many workloads against one configuration."""
+    return [run_pair(name, config) for name in workloads]
+
+
+def sweep(workloads: Sequence[str],
+          configs: Sequence[str]) -> Dict[Tuple[str, str], SimResult]:
+    """Run the full (workload x config) matrix, trace-reuse optimised."""
+    out: Dict[Tuple[str, str], SimResult] = {}
+    cache = default_cache()
+    for name in workloads:
+        trace = None
+        for config in configs:
+            hit = cache.load(name, config)
+            if hit is None:
+                if trace is None:
+                    trace = cache.trace_for(get_workload(name))
+                hit = _simulate(get_workload(name), config, trace)
+                cache.store(hit)
+            out[(name, config)] = hit
+    return out
+
+
+def missing_pairs(workloads: Iterable[str],
+                  configs: Iterable[str]) -> List[Tuple[str, str]]:
+    """Pairs not yet in the cache (used by the prefill CLI)."""
+    cache = default_cache()
+    return [(w, c) for w in workloads for c in configs
+            if cache.load(w, c) is None]

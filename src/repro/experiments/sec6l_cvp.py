@@ -1,0 +1,43 @@
+"""Section VI-L — UBS on traces not used during design.
+
+The paper's held-out set is CVP-1 (server / integer / floating-point
+traces); ours is the independently seeded ``cvp_*`` workload families.
+Expected shape: UBS outperforms or matches the 64 KB conventional cache's
+gain on the held-out server traces, with small gains on int/fp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..trace.workloads import WorkloadFamily, workload_names
+from .report import geomean
+from .runner import run_pair
+
+FAMILIES = (WorkloadFamily.CVP_SERVER, WorkloadFamily.CVP_FP,
+            WorkloadFamily.CVP_INT)
+CONFIGS = ("ubs", "conv64")
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """cvp family -> {config: geomean speedup over conv32}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for family in FAMILIES:
+        names = workload_names(family)
+        speedups = {c: [] for c in CONFIGS}
+        for name in names:
+            base = run_pair(name, "conv32")
+            for config in CONFIGS:
+                speedups[config].append(
+                    run_pair(name, config).speedup_over(base))
+        out[family] = {c: geomean(v) for c, v in speedups.items()}
+    return out
+
+
+def format(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Section VI-L: held-out (CVP-analogue) traces, speedup over "
+             "32KB baseline"]
+    for family, row in data.items():
+        lines.append(f"  {family:8s} UBS {row['ubs']:.3f}   "
+                     f"64KB {row['conv64']:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Headline paper-vs-measured summary.
+
+Collects the numbers the paper states in prose (abstract/intro/
+conclusion) from the cached experiment results and prints them next to
+the published values — the table EXPERIMENTS.md embeds.
+
+Requires the result cache to be filled (``python -m
+repro.experiments.run_all``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from . import (
+    fig01_byte_usage,
+    fig02_storage_efficiency,
+    fig07_ubs_efficiency,
+    fig08_stall_coverage,
+    fig10_performance,
+)
+from .report import mean
+from .runner import run_pair
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One headline claim: the paper's value vs ours."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def collect() -> List[Claim]:
+    """Evaluate every headline claim against the cached results."""
+    claims: List[Claim] = []
+
+    # 1. ~60% of bytes in a baseline block are never accessed.
+    fig1 = fig01_byte_usage.run()
+    waste = []
+    for curves in fig1.values():
+        for name in curves:
+            hist = fig01_byte_usage.histogram_for(name)
+            waste.append(1.0 - hist.mean() / 64.0)
+    avg_waste = mean(waste)
+    claims.append(Claim(
+        "unused bytes per baseline cache block",
+        "~60% on average",
+        f"{avg_waste:.0%}",
+        0.40 <= avg_waste <= 0.75,
+    ))
+
+    # 2. ~61% of blocks see <= 32 accessed bytes (server traces).
+    server32 = fig01_byte_usage.key_points(fig1)["1b"][32]
+    claims.append(Claim(
+        "server blocks using <= 32 bytes",
+        "~61%",
+        f"{server32:.0%}",
+        0.45 <= server32 <= 0.80,
+    ))
+
+    # 3. Storage efficiency improvement (UBS vs baseline), percentage pts.
+    base_eff = fig02_storage_efficiency.family_means(
+        fig02_storage_efficiency.run())
+    ubs_eff = fig07_ubs_efficiency.family_means(fig07_ubs_efficiency.run())
+    gain_pp = mean(ubs_eff[f] - base_eff[f] for f in ubs_eff) * 100
+    claims.append(Claim(
+        "storage-efficiency gain of UBS",
+        "+32 percentage points",
+        f"+{gain_pp:.0f}pp",
+        gain_pp >= 15,
+    ))
+
+    # 4. >2x blocks at iso-budget (structural) and resident ratio.
+    from ..cpu.machine import build_icache
+    ubs_cache = build_icache("ubs")
+    conv = build_icache("conv32")
+    structural = (ubs_cache.sets * (ubs_cache.n_ways + 1)) \
+        / (conv.sets * conv.ways)
+    resident = mean(
+        run_pair(n, "ubs").extra["block_count"]
+        / max(1, run_pair(n, "conv32").extra["block_count"])
+        for n in ("server_003", "server_005", "server_007"))
+    claims.append(Claim(
+        "blocks supported at iso-budget",
+        ">2x",
+        f"{structural:.2f}x structural / {resident:.2f}x resident",
+        structural > 2.0,
+    ))
+
+    # 5. Front-end stall coverage on server workloads.
+    cov = fig08_stall_coverage.family_averages(fig08_stall_coverage.run())
+    claims.append(Claim(
+        "server front-end stall cycles covered by UBS",
+        "16.5% (64KB slightly higher)",
+        f"{cov['server']['ubs']:.1%} (64KB {cov['server']['conv64']:.1%})",
+        cov["server"]["ubs"] > 0.05,
+    ))
+
+    # 6. Server speedup: UBS vs doubling the cache.
+    g = fig10_performance.family_geomeans(fig10_performance.run())
+    ubs_gain = g["server"]["ubs"] - 1
+    big_gain = g["server"]["conv64"] - 1
+    fraction = ubs_gain / big_gain if big_gain > 0 else 0.0
+    claims.append(Claim(
+        "server speedup: UBS vs 64KB conventional",
+        "5.6% vs 6.3% (UBS = 89% of doubling)",
+        f"{ubs_gain:.1%} vs {big_gain:.1%} (UBS = {fraction:.0%} of doubling)",
+        ubs_gain > 0,
+    ))
+
+    # 7. Storage overhead (exact).
+    from ..core.storage import ubs_overhead_kib
+    from ..params import DEFAULT_UBS_WAY_SIZES
+    overhead = ubs_overhead_kib(DEFAULT_UBS_WAY_SIZES)
+    claims.append(Claim(
+        "UBS storage overhead over 32KB baseline",
+        "2.46 KB",
+        f"{overhead:.2f} KB",
+        abs(overhead - 2.46) < 0.01,
+    ))
+
+    # 8. Access latency parity (Section VI-I).
+    from ..core.latency import latency_report
+    report = latency_report(DEFAULT_UBS_WAY_SIZES)
+    claims.append(Claim(
+        "UBS access latency vs baseline",
+        "equal (8 physical data ways)",
+        f"{'equal' if report.same_latency_as_baseline else 'NOT equal'} "
+        f"({report.physical_data_ways} physical ways)",
+        report.same_latency_as_baseline,
+    ))
+
+    return claims
+
+
+def format(claims: List[Claim]) -> str:
+    lines = ["Headline claims, paper vs this reproduction:"]
+    for c in claims:
+        status = "holds" if c.holds else "DIVERGES"
+        lines.append(f"  [{status:8s}] {c.claim}")
+        lines.append(f"             paper:    {c.paper}")
+        lines.append(f"             measured: {c.measured}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Decoupled front-end: branch prediction, FTQ and FDIP."""
+
+from .perceptron import HashedPerceptron
+from .btb import BTB
+from .ras import ReturnAddressStack
+from .bpu import BranchPredictionUnit, Resteer
+from .ftq import FetchRange, FetchTargetQueue, RangeBuilder
+
+__all__ = [
+    "BTB",
+    "BranchPredictionUnit",
+    "FetchRange",
+    "FetchTargetQueue",
+    "HashedPerceptron",
+    "RangeBuilder",
+    "Resteer",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,116 @@
+"""The branch prediction unit: perceptron + BTB + RAS, trace-driven.
+
+The BPU runs ahead of fetch along the trace (the correct path). For each
+control-flow instruction it produces the prediction the real hardware
+would have made and classifies the outcome:
+
+* ``Resteer.NONE``    — predicted correctly; run-ahead continues.
+* ``Resteer.DECODE``  — the branch *is* taken but the BTB had no target
+  (decode-time resteer once the instruction bytes are available).
+* ``Resteer.EXECUTE`` — wrong direction or wrong target; the front-end can
+  only recover when the branch executes.
+
+Because the trace contains no wrong-path instructions, a mispredicted
+branch simply stops run-ahead until the resteer resolves — equivalent to
+flushing the FTQ contents past the branch.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from ..params import BranchParams
+from ..trace.record import Instruction, InstrKind
+from .btb import BTB
+from .perceptron import HashedPerceptron
+from .ras import ReturnAddressStack
+
+
+class Resteer(IntEnum):
+    NONE = 0
+    DECODE = 1
+    EXECUTE = 2
+
+
+class BranchPredictionUnit:
+    """Combined direction/target predictor operating on trace records."""
+
+    def __init__(self, params: BranchParams = BranchParams()) -> None:
+        self.params = params
+        self.direction = HashedPerceptron(params)
+        self.btb = BTB(params)
+        self.ras = ReturnAddressStack(params.ras_entries)
+        self.cond_lookups = 0
+        self.mispredicts = 0
+        self.btb_resteers = 0
+
+    def process(self, instr: Instruction) -> Resteer:
+        """Predict + train on one control-flow instruction; classify the
+        resteer the front-end would experience."""
+        kind = instr.kind
+        pc = instr.pc
+
+        if kind == InstrKind.BR_COND:
+            self.cond_lookups += 1
+            predicted_taken = self.direction.predict_and_train(pc, instr.taken)
+            if predicted_taken != instr.taken:
+                self.mispredicts += 1
+                if instr.taken:
+                    self.btb.update(pc, instr.target)
+                return Resteer.EXECUTE
+            if not instr.taken:
+                return Resteer.NONE
+            target = self.btb.lookup(pc)
+            self.btb.update(pc, instr.target)
+            if target is None:
+                self.btb_resteers += 1
+                return Resteer.DECODE
+            if target != instr.target:
+                self.mispredicts += 1
+                return Resteer.EXECUTE
+            return Resteer.NONE
+
+        if kind in (InstrKind.JUMP, InstrKind.CALL):
+            self.direction.note_unconditional()
+            if kind == InstrKind.CALL:
+                self.ras.push(pc + instr.size)
+            target = self.btb.lookup(pc)
+            self.btb.update(pc, instr.target)
+            if target is None:
+                # Direct branches resteer at decode: the target is encoded
+                # in the instruction bytes.
+                self.btb_resteers += 1
+                return Resteer.DECODE
+            if target != instr.target:
+                self.mispredicts += 1
+                return Resteer.EXECUTE
+            return Resteer.NONE
+
+        if kind == InstrKind.CALL_IND:
+            self.direction.note_unconditional()
+            self.ras.push(pc + instr.size)
+            target = self.btb.lookup(pc)
+            self.btb.update(pc, instr.target)
+            if target != instr.target:
+                self.mispredicts += 1
+                return Resteer.EXECUTE
+            return Resteer.NONE
+
+        if kind == InstrKind.BR_IND:
+            self.direction.note_unconditional()
+            target = self.btb.lookup(pc)
+            self.btb.update(pc, instr.target)
+            if target != instr.target:
+                self.mispredicts += 1
+                return Resteer.EXECUTE
+            return Resteer.NONE
+
+        if kind == InstrKind.RET:
+            self.direction.note_unconditional()
+            predicted = self.ras.pop()
+            if predicted != instr.target:
+                self.mispredicts += 1
+                return Resteer.EXECUTE
+            return Resteer.NONE
+
+        return Resteer.NONE

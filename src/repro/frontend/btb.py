@@ -1,0 +1,59 @@
+"""Branch Target Buffer: 4K entries, set-associative, LRU."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..params import BranchParams
+
+
+class BTB:
+    """Set-associative BTB storing branch targets."""
+
+    def __init__(self, params: BranchParams = BranchParams()) -> None:
+        self.ways = params.btb_ways
+        self.sets = params.btb_entries // params.btb_ways
+        self._index_mask = self.sets - 1
+        self._tags: List[List[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.sets)
+        ]
+        self._targets: List[List[int]] = [
+            [0] * self.ways for _ in range(self.sets)
+        ]
+        self._stamp: List[List[int]] = [
+            [-1] * self.ways for _ in range(self.sets)
+        ]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, pc: int) -> Tuple[int, int]:
+        set_idx = (pc >> 2) & self._index_mask
+        tag = pc >> 2
+        try:
+            way = self._tags[set_idx].index(tag)
+        except ValueError:
+            way = -1
+        return set_idx, way
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Target stored for the branch at ``pc`` (None on BTB miss)."""
+        set_idx, way = self._locate(pc)
+        if way < 0:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+        return self._targets[set_idx][way]
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for the branch at ``pc``."""
+        set_idx, way = self._locate(pc)
+        if way < 0:
+            stamps = self._stamp[set_idx]
+            way = min(range(self.ways), key=stamps.__getitem__)
+            self._tags[set_idx][way] = pc >> 2
+        self._targets[set_idx][way] = target
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock

@@ -1,0 +1,154 @@
+"""Fetch Target Queue and the BPU-run-ahead range builder.
+
+A :class:`FetchRange` is the unit the decoupled front-end works with: a
+contiguous byte span *within one 64-byte block*, the trace instructions
+whose last byte falls inside it, and the resteer (if any) its terminating
+branch causes. The fetch engine requests exactly these byte spans from the
+L1-I — the "start byte address + number of bytes" interface of
+Section IV-A — and FDIP prefetches the blocks they touch.
+
+Ranges are built by :class:`RangeBuilder`, which advances the BPU along
+the trace: a range ends at a predicted-taken branch, a 64-byte boundary,
+or a resteer-causing branch (after which run-ahead stops until the machine
+resumes it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..trace.record import Instruction
+from .bpu import BranchPredictionUnit, Resteer
+
+
+class FetchRange:
+    """A byte span within one block plus its completing instructions."""
+
+    __slots__ = ("start", "nbytes", "first_index", "instr_ends", "resteer")
+
+    def __init__(self, start: int, nbytes: int, first_index: int,
+                 instr_ends: Tuple[int, ...], resteer: Resteer) -> None:
+        self.start = start
+        self.nbytes = nbytes
+        self.first_index = first_index
+        self.instr_ends = instr_ends  # absolute end addr per instruction
+        self.resteer = resteer
+
+    @property
+    def end(self) -> int:
+        return self.start + self.nbytes
+
+    @property
+    def n_instrs(self) -> int:
+        return len(self.instr_ends)
+
+    @property
+    def block_addr(self) -> int:
+        return (self.start >> 6) << 6
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FetchRange({self.start:#x}+{self.nbytes}, "
+                f"{self.n_instrs} instrs, {self.resteer.name})")
+
+
+class RangeBuilder:
+    """Advances the BPU over the trace, emitting fetch ranges."""
+
+    def __init__(self, trace: Sequence[Instruction],
+                 bpu: BranchPredictionUnit) -> None:
+        self.trace = trace
+        self.bpu = bpu
+        self.index = 0                 # next instruction the BPU considers
+        self._next_byte: Optional[int] = None  # continuation byte, if any
+        self.blocked = False           # stopped behind a resteer
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.trace) and self._next_byte is None
+
+    def resume(self) -> None:
+        """Called when a resteer resolves; run-ahead may continue."""
+        self.blocked = False
+
+    def build_next(self) -> Optional[FetchRange]:
+        """Produce the next fetch range, or None when blocked/exhausted."""
+        if self.blocked or self.exhausted:
+            return None
+        trace = self.trace
+        idx = self.index
+        if self._next_byte is not None:
+            start = self._next_byte
+        else:
+            start = trace[idx].pc
+        block_end = (start | 63) + 1
+
+        instr_ends: List[int] = []
+        end = start
+        resteer = Resteer.NONE
+
+        while idx < len(trace):
+            ins = trace[idx]
+            ins_end = ins.pc + ins.size
+            if ins_end > block_end:
+                # The instruction straddles the block boundary: it completes
+                # in the continuation range that starts at the boundary.
+                end = block_end
+                self._next_byte = block_end
+                self.index = idx
+                break
+            end = ins_end
+            instr_ends.append(ins_end)
+            idx += 1
+            self._next_byte = None
+            self.index = idx
+            if ins.is_branch:
+                resteer = self.bpu.process(ins)
+                if resteer != Resteer.NONE:
+                    self.blocked = True
+                    break
+                if ins.taken:
+                    break
+            if ins_end == block_end:
+                break
+
+        if end == start:
+            raise SimulationError("built an empty fetch range")
+        # Completed instructions are trace[idx - len(instr_ends) : idx] in
+        # both the normal and the boundary-straddling case.
+        return FetchRange(start, end - start, idx - len(instr_ends),
+                          tuple(instr_ends), resteer)
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of fetch ranges between the BPU and the fetch engine."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._queue: Deque[FetchRange] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, fetch_range: FetchRange) -> None:
+        if self.full:
+            raise SimulationError("FTQ overflow")
+        self._queue.append(fetch_range)
+
+    def head(self) -> Optional[FetchRange]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> FetchRange:
+        return self._queue.popleft()

@@ -1,0 +1,76 @@
+"""Hashed perceptron conditional branch predictor (Table I).
+
+The classic multi-table hashed perceptron: each table is indexed by a hash
+of the branch PC with a different slice of global history; prediction is
+the sign of the summed weights, training occurs on mispredicts or when the
+confidence is below threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..params import BranchParams
+
+_WEIGHT_MAX = 31
+_WEIGHT_MIN = -32
+
+
+class HashedPerceptron:
+    """Multi-table hashed perceptron over global branch history."""
+
+    def __init__(self, params: BranchParams = BranchParams()) -> None:
+        self.n_tables = params.perceptron_tables
+        self.entries = params.perceptron_entries
+        self.threshold = params.perceptron_threshold
+        self._mask = self.entries - 1
+        self._tables: List[List[int]] = [
+            [0] * self.entries for _ in range(self.n_tables)
+        ]
+        self._history = 0
+        self.lookups = 0
+        self.mispredicts = 0
+
+    #: Geometric history lengths per table; table 0 is the PC-only bias
+    #: table that lets the predictor capture per-branch biases even when
+    #: the surrounding history is uncorrelated noise.
+    HISTORY_LENGTHS = (0, 4, 8, 12, 18, 27, 44, 64)
+
+    def _indices(self, pc: int) -> List[int]:
+        h = self._history
+        base = (pc >> 2) ^ (pc >> 11)
+        out = []
+        lengths = self.HISTORY_LENGTHS
+        for i in range(self.n_tables):
+            length = lengths[i % len(lengths)]
+            if length:
+                seg = h & ((1 << length) - 1)
+                while seg >> 16:
+                    seg = (seg & 0xFFFF) ^ (seg >> 16)
+            else:
+                seg = 0
+            out.append((base ^ (seg * 0x9E3779B1) ^ (i * 0x85EBCA6B))
+                       & self._mask)
+        return out
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; immediately train with the actual
+        outcome (trace-driven operation). Returns the *prediction*."""
+        self.lookups += 1
+        indices = self._indices(pc)
+        total = sum(self._tables[i][idx] for i, idx in enumerate(indices))
+        prediction = total >= 0
+        if prediction != taken:
+            self.mispredicts += 1
+        if prediction != taken or abs(total) < self.threshold:
+            delta = 1 if taken else -1
+            for i, idx in enumerate(indices):
+                w = self._tables[i][idx] + delta
+                self._tables[i][idx] = max(_WEIGHT_MIN, min(_WEIGHT_MAX, w))
+        self._history = ((self._history << 1) | (1 if taken else 0)) \
+            & ((1 << 64) - 1)
+        return prediction
+
+    def note_unconditional(self) -> None:
+        """Shift a taken bit into history for unconditional branches."""
+        self._history = ((self._history << 1) | 1) & ((1 << 64) - 1)

@@ -1,0 +1,28 @@
+"""Return address stack with bounded depth and wrap-around overflow."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular RAS: overflow overwrites the oldest entry."""
+
+    def __init__(self, entries: int = 64) -> None:
+        self.capacity = entries
+        self._stack: List[int] = []
+        self.overflows = 0
+
+    def push(self, return_addr: int) -> None:
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_addr)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

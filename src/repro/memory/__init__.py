@@ -1,0 +1,44 @@
+"""Memory-system substrate: caches, replacement policies, MSHRs, DRAM."""
+
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .ghrp import GHRPPolicy
+from .acic import ACICFilter
+from .mshr import MSHRFile
+from .cache import Cache, AccessResult
+from .dram import DRAM
+from .hierarchy import MemoryHierarchy
+from .icache import (
+    ConventionalICache,
+    InstructionCacheBase,
+    LookupResult,
+    MissKind,
+)
+from .small_block import SmallBlockICache
+from .distillation import DistillationICache
+
+__all__ = [
+    "ACICFilter",
+    "AccessResult",
+    "Cache",
+    "ConventionalICache",
+    "DRAM",
+    "DistillationICache",
+    "FIFOPolicy",
+    "GHRPPolicy",
+    "InstructionCacheBase",
+    "LookupResult",
+    "LRUPolicy",
+    "MemoryHierarchy",
+    "MissKind",
+    "MSHRFile",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SmallBlockICache",
+    "make_policy",
+]

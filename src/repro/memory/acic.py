@@ -1,0 +1,86 @@
+"""ACIC — Admission-Controlled Instruction Cache (Wang et al., HPCA'23).
+
+ACIC filters out cache blocks unlikely to see reuse: a block is admitted to
+the L1-I only once it has demonstrated reuse while being observed. We model
+the admission mechanism with a small direct-mapped observation filter of
+recently missed block addresses plus a reuse-confidence table:
+
+* On a miss, if the block's confidence says "reuses", admit it normally.
+* Otherwise the miss is served without caching (bypass) and the block is
+  recorded in the filter; a second miss while still in the filter proves
+  short-term reuse and raises confidence.
+* Evictions train confidence down when the block was never re-referenced.
+
+Victim selection itself is plain LRU — ACIC is an insertion policy and the
+paper combines it with the baseline replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .replacement import ReplacementPolicy
+
+_FILTER_SIZE = 512          # recently-missed blocks under observation
+_CONF_SIZE = 65536
+_CONF_MAX = 3
+_ADMIT_THRESHOLD = 1
+
+
+class ACICFilter(ReplacementPolicy):
+    """LRU replacement plus reuse-based admission control."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        super().__init__(sets, ways)
+        self._clock = 0
+        self._stamp: List[List[int]] = [[-1] * ways for _ in range(sets)]
+        # filter maps filter-index -> block address under observation
+        self._filter: Dict[int, int] = {}
+        self._confidence = [_CONF_MAX] * _CONF_SIZE  # optimistic start
+
+    @staticmethod
+    def _conf_index(block: int) -> int:
+        return (block ^ (block >> 7)) % _CONF_SIZE
+
+    # -- admission -------------------------------------------------------------
+
+    def should_admit(self, addr: int, set_idx: int) -> bool:
+        block = addr >> 6
+        return self._confidence[self._conf_index(block)] >= _ADMIT_THRESHOLD
+
+    def note_miss(self, addr: int, set_idx: int) -> None:
+        block = addr >> 6
+        slot = block % _FILTER_SIZE
+        observed = self._filter.get(slot)
+        if observed == block:
+            # Second miss to the same block while under observation: it
+            # clearly reuses; raise confidence so it gets admitted.
+            idx = self._conf_index(block)
+            if self._confidence[idx] < _CONF_MAX:
+                self._confidence[idx] += 1
+        else:
+            self._filter[slot] = block
+
+    # -- replacement (LRU) -------------------------------------------------------
+
+    def on_hit(self, set_idx: int, way: int, addr: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+
+    def on_fill(self, set_idx: int, way: int, addr: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+
+    def on_evict(self, set_idx: int, way: int, addr: int,
+                 was_reused: bool) -> None:
+        if not was_reused:
+            block = addr >> 6
+            idx = self._conf_index(block)
+            if self._confidence[idx] > 0:
+                self._confidence[idx] -= 1
+
+    def victim(self, set_idx: int,
+               candidates: Optional[Sequence[int]] = None) -> int:
+        stamps = self._stamp[set_idx]
+        pool = range(self.ways) if candidates is None else candidates
+        return min(pool, key=stamps.__getitem__)

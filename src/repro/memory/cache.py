@@ -1,0 +1,132 @@
+"""Generic set-associative cache used for L1-D, L2 and L3.
+
+These levels only need functional contents plus hit/miss accounting — the
+timing is composed by :class:`~repro.memory.hierarchy.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..params import CacheParams
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    evicted: Optional[int] = None   # block address pushed out by the fill
+
+
+class Cache:
+    """Set-associative cache with pluggable replacement.
+
+    ``access`` performs lookup and — on a miss — the fill in one step,
+    which matches how the lower levels are used by the hierarchy. The
+    separate :meth:`probe`/:meth:`fill` methods support callers that need
+    to split the two (e.g. when modelling fill latency).
+    """
+
+    def __init__(self, params: CacheParams,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        self.params = params
+        self.sets = params.sets
+        self.ways = params.ways
+        self._offset_bits = params.offset_bits
+        self._index_mask = self.sets - 1
+        self._tags: List[List[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.sets)
+        ]
+        self._reused: List[List[bool]] = [
+            [False] * self.ways for _ in range(self.sets)
+        ]
+        self.policy = policy or make_policy(params.replacement,
+                                            self.sets, self.ways)
+        self.hits = 0
+        self.misses = 0
+
+    # -- address helpers -------------------------------------------------------
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def set_of(self, addr: int) -> int:
+        return (addr >> self._offset_bits) & self._index_mask
+
+    # -- operations ------------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        """Presence check without any state change."""
+        block = self.block_of(addr)
+        return block in self._tags[block & self._index_mask]
+
+    def touch(self, addr: int) -> bool:
+        """Lookup without fill: updates recency and counters."""
+        block = self.block_of(addr)
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(block)
+        except ValueError:
+            self.misses += 1
+            self.policy.note_miss(addr, set_idx)
+            return False
+        self.hits += 1
+        self._reused[set_idx][way] = True
+        self.policy.on_hit(set_idx, way, addr)
+        return True
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Install the block containing ``addr``; returns the evicted block
+        address (full address of its first byte) or None."""
+        block = self.block_of(addr)
+        set_idx = block & self._index_mask
+        if not self.policy.should_admit(addr, set_idx):
+            return None
+        tags = self._tags[set_idx]
+        if block in tags:               # merged fill; nothing to do
+            return None
+        evicted = None
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = self.policy.victim(set_idx)
+            old = tags[way]
+            assert old is not None
+            evicted = old << self._offset_bits
+            self.policy.on_evict(set_idx, way, evicted,
+                                 self._reused[set_idx][way])
+        tags[way] = block
+        self._reused[set_idx][way] = False
+        self.policy.on_fill(set_idx, way, addr)
+        return evicted
+
+    def access(self, addr: int) -> AccessResult:
+        """Lookup, filling on a miss. Returns hit/miss plus any eviction."""
+        if self.touch(addr):
+            return AccessResult(hit=True)
+        evicted = self.fill(addr)
+        return AccessResult(hit=False, evicted=evicted)
+
+    def invalidate(self, addr: int) -> bool:
+        block = self.block_of(addr)
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(block)
+        except ValueError:
+            return False
+        tags[way] = None
+        self._reused[set_idx][way] = False
+        return True
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

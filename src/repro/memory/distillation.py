@@ -1,0 +1,171 @@
+"""Line Distillation (Qureshi et al., HPCA'07) adapted to the L1-I.
+
+The cache is split into a Line-Organised Cache (LOC) holding full 64-byte
+blocks and a Word-Organised Cache (WOC) holding individual 4-byte words.
+When a line is evicted from the LOC, the words that were actually accessed
+are *distilled* into the WOC; a later access hits if the block is in the
+LOC or if every requested word is present in the WOC.
+
+At a 32 KB budget we assign 4 of the original 8 ways to the LOC and turn
+the other 4 ways into per-set WOC word storage (64 word entries per set),
+mirroring the half-and-half split of the original proposal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..params import TRANSFER_BLOCK
+from .icache import InstructionCacheBase, LookupResult, MissKind
+from .replacement import LRUPolicy
+
+WORD = 4
+
+
+class DistillationICache(InstructionCacheBase):
+    """LOC + WOC instruction cache."""
+
+    def __init__(self, sets: int = 64, loc_ways: int = 4,
+                 woc_words_per_set: int = 64, latency: int = 4,
+                 mshr_entries: int = 8) -> None:
+        if sets & (sets - 1):
+            raise ConfigurationError("set count must be a power of two")
+        super().__init__(latency, mshr_entries)
+        self.sets = sets
+        self.loc_ways = loc_ways
+        self.woc_words_per_set = woc_words_per_set
+        self._index_mask = sets - 1
+        self.policy = LRUPolicy(sets, loc_ways)
+        self._tags: List[List[Optional[int]]] = [
+            [None] * loc_ways for _ in range(sets)
+        ]
+        self._accessed: List[List[int]] = [[0] * loc_ways for _ in range(sets)]
+        self._reused: List[List[bool]] = [
+            [False] * loc_ways for _ in range(sets)
+        ]
+        # WOC per set: (block, word_index) -> lru stamp
+        self._woc: List[Dict[Tuple[int, int], int]] = [
+            {} for _ in range(sets)
+        ]
+        self._woc_clock = 0
+        self.woc_hits = 0
+
+    # -- lookup -----------------------------------------------------------------
+
+    def _words(self, addr: int, nbytes: int):
+        first = addr >> 2
+        last = (addr + nbytes - 1) >> 2
+        for w in range(first, last + 1):
+            yield w
+
+    def lookup(self, addr: int, nbytes: int) -> LookupResult:
+        block = addr >> 6
+        block_addr = block << 6
+        if (addr + nbytes - 1) >> 6 != block:
+            raise SimulationError("fetch range crosses a 64B boundary")
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(block)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self.hits += 1
+            self._reused[set_idx][way] = True
+            self.policy.on_hit(set_idx, way, addr)
+            offset = addr - block_addr
+            mask = ((1 << nbytes) - 1) << offset
+            self._accessed[set_idx][way] |= mask
+            return LookupResult(MissKind.HIT, block_addr)
+
+        woc = self._woc[set_idx]
+        keys = [(block, w & 0xF) for w in self._words(addr, nbytes)]
+        if all(k in woc for k in keys):
+            self.hits += 1
+            self.woc_hits += 1
+            for k in keys:
+                self._woc_clock += 1
+                woc[k] = self._woc_clock
+            return LookupResult(MissKind.HIT, block_addr)
+
+        self.misses += 1
+        self.policy.note_miss(addr, set_idx)
+        return LookupResult(MissKind.FULL_MISS, block_addr)
+
+    # -- fill / distillation ---------------------------------------------------------
+
+    def fill(self, block_addr: int, prefetch: bool = False) -> None:
+        block = block_addr >> 6
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        if block in tags:
+            return
+        # Remove any distilled words of this block: the LOC copy supersedes
+        # them (avoids double-counting storage).
+        woc = self._woc[set_idx]
+        for key in [k for k in woc if k[0] == block]:
+            del woc[key]
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = self.policy.victim(set_idx)
+            self._distill(set_idx, way)
+        tags[way] = block
+        self._accessed[set_idx][way] = 0
+        self._reused[set_idx][way] = False
+        self.policy.on_fill(set_idx, way, block_addr)
+
+    def _distill(self, set_idx: int, way: int) -> None:
+        """Evict a LOC line, moving its accessed words into the WOC."""
+        block = self._tags[set_idx][way]
+        if block is None:
+            return
+        accessed = self._accessed[set_idx][way]
+        if self.recording:
+            self.byte_usage.add(accessed.bit_count())
+        self.policy.on_evict(set_idx, way, block << 6,
+                             self._reused[set_idx][way])
+        self._tags[set_idx][way] = None
+        if not accessed:
+            return
+        woc = self._woc[set_idx]
+        for word_idx in range(TRANSFER_BLOCK // WORD):
+            word_mask = 0xF << (word_idx * WORD)
+            if accessed & word_mask:
+                self._woc_clock += 1
+                woc[(block, word_idx)] = self._woc_clock
+        while len(woc) > self.woc_words_per_set:
+            victim = min(woc, key=woc.__getitem__)
+            del woc[victim]
+
+    # -- probes / snapshots -----------------------------------------------------------
+
+    def probe_range(self, addr: int, nbytes: int) -> bool:
+        block = addr >> 6
+        set_idx = block & self._index_mask
+        if block in self._tags[set_idx]:
+            return True
+        woc = self._woc[set_idx]
+        return all((block, w & 0xF) in woc for w in self._words(addr, nbytes))
+
+    def storage_snapshot(self) -> Tuple[int, int]:
+        used = 0
+        stored = 0
+        for set_idx in range(self.sets):
+            tags = self._tags[set_idx]
+            for way in range(self.loc_ways):
+                if tags[way] is not None:
+                    stored += TRANSFER_BLOCK
+                    used += self._accessed[set_idx][way].bit_count()
+            n_words = len(self._woc[set_idx])
+            stored += n_words * WORD
+            used += n_words * WORD  # distilled words were used by definition
+        return used, stored
+
+    def block_count(self) -> int:
+        blocks = sum(1 for tags in self._tags for t in tags if t is not None)
+        woc_blocks = len({
+            (s, k[0]) for s in range(self.sets) for k in self._woc[s]
+        })
+        return blocks + woc_blocks

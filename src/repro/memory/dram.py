@@ -1,0 +1,56 @@
+"""A simple open-page DRAM timing model (Table I).
+
+Single channel, one rank, eight banks. Each bank remembers its open row;
+an access to the open row pays tCAS, anything else pays precharge +
+activate + CAS. All timings are expressed in core cycles (see
+:class:`~repro.params.DramParams`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..params import DramParams
+
+
+class DRAM:
+    """Open-page DRAM latency model."""
+
+    def __init__(self, params: Optional[DramParams] = None) -> None:
+        self.params = params or DramParams()
+        self._open_rows: List[Optional[int]] = [None] * self.params.banks
+        self.row_hits = 0
+        self.row_misses = 0
+        # The channel is busy until this cycle; requests serialise on it.
+        self._channel_free = 0
+
+    def _bank_and_row(self, addr: int) -> tuple:
+        p = self.params
+        row_addr = addr // p.row_size
+        bank = row_addr % p.banks
+        row = row_addr // p.banks
+        return bank, row
+
+    def access(self, addr: int, cycle: int) -> int:
+        """Latency (cycles from ``cycle``) to read the block at ``addr``."""
+        p = self.params
+        bank, row = self._bank_and_row(addr)
+        if self._open_rows[bank] == row:
+            self.row_hits += 1
+            service = p.row_hit_latency
+        else:
+            self.row_misses += 1
+            service = p.row_miss_latency
+            self._open_rows[bank] = row
+        start = max(cycle, self._channel_free)
+        # The data bus is occupied for the burst; subsequent requests queue.
+        self._channel_free = start + p.bus_cycles
+        return (start - cycle) + service
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses
+
+    def reset_stats(self) -> None:
+        self.row_hits = 0
+        self.row_misses = 0

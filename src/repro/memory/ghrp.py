@@ -1,0 +1,93 @@
+"""GHRP — Global History based Replacement Policy (Ajorpaz et al., ISCA'18).
+
+GHRP predicts dead blocks in the instruction cache from a global history of
+recent block accesses. Each block access updates a global history register;
+(address, history) pairs hash into several prediction tables of saturating
+counters that are trained at eviction time (dead = never reused). Victim
+selection prefers predicted-dead blocks and falls back to LRU.
+
+This is a faithful behavioural model of the mechanism at the fidelity the
+comparison in Fig. 13 needs; table/threshold sizing follows the flavour of
+the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .replacement import ReplacementPolicy
+
+_TABLE_BITS = 12
+_TABLE_SIZE = 1 << _TABLE_BITS
+_N_TABLES = 3
+_COUNTER_MAX = 7          # 3-bit saturating counters
+_COUNTER_INIT = 2         # weakly not-dead on reset
+_DEAD_THRESHOLD = 15      # sum over the three tables
+
+
+class GHRPPolicy(ReplacementPolicy):
+    """Dead-block-predicting replacement with LRU fallback."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        super().__init__(sets, ways)
+        self._clock = 0
+        self._stamp: List[List[int]] = [[-1] * ways for _ in range(sets)]
+        # Signature captured at fill time, used for training at eviction.
+        self._sig: List[List[int]] = [[0] * ways for _ in range(sets)]
+        self._history = 0
+        self._tables = [[_COUNTER_INIT] * _TABLE_SIZE
+                        for _ in range(_N_TABLES)]
+
+    # -- history/signature helpers -------------------------------------------
+
+    def _update_history(self, addr: int) -> None:
+        block = addr >> 6
+        self._history = ((self._history << 4) ^ (block & 0xFFFF)) & 0xFFFF
+
+    def _signature(self, addr: int) -> int:
+        return ((addr >> 6) ^ (self._history * 0x9E37)) & 0xFFFFFFFF
+
+    def _indices(self, sig: int) -> List[int]:
+        return [(sig >> (i * 5)) % _TABLE_SIZE for i in range(_N_TABLES)]
+
+    def _predict_dead(self, sig: int) -> bool:
+        total = sum(self._tables[i][idx]
+                    for i, idx in enumerate(self._indices(sig)))
+        return total >= _DEAD_THRESHOLD
+
+    def _train(self, sig: int, dead: bool) -> None:
+        for i, idx in enumerate(self._indices(sig)):
+            counter = self._tables[i][idx]
+            if dead and counter < _COUNTER_MAX:
+                self._tables[i][idx] = counter + 1
+            elif not dead and counter > 0:
+                self._tables[i][idx] = counter - 1
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def on_hit(self, set_idx: int, way: int, addr: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+        self._update_history(addr)
+        # Re-signature on access so training reflects the latest context.
+        self._sig[set_idx][way] = self._signature(addr)
+
+    def on_fill(self, set_idx: int, way: int, addr: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+        self._update_history(addr)
+        self._sig[set_idx][way] = self._signature(addr)
+
+    def on_evict(self, set_idx: int, way: int, addr: int,
+                 was_reused: bool) -> None:
+        self._train(self._sig[set_idx][way], dead=not was_reused)
+
+    def victim(self, set_idx: int,
+               candidates: Optional[Sequence[int]] = None) -> int:
+        pool = list(range(self.ways)) if candidates is None else list(candidates)
+        stamps = self._stamp[set_idx]
+        sigs = self._sig[set_idx]
+        dead = [w for w in pool if self._predict_dead(sigs[w])]
+        if dead:
+            return min(dead, key=stamps.__getitem__)
+        return min(pool, key=stamps.__getitem__)

@@ -1,0 +1,90 @@
+"""Cache hierarchy below the L1-I: L1-D, shared L2, L3 and DRAM.
+
+The hierarchy answers two questions for the machine model:
+
+* ``fetch_block(addr, cycle)``    — latency to bring an instruction block
+  from L2/L3/DRAM (the L1-I itself, conventional or UBS, lives in the
+  front-end and calls this on its misses).
+* ``data_access(addr, cycle, is_store)`` — completion latency of a load or
+  store issued by the back-end, through L1-D and the shared levels.
+
+Instructions and data share L2 and L3, so data traffic pollutes the levels
+that back up the L1-I exactly as in ChampSim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import MachineParams
+from .cache import Cache
+from .dram import DRAM
+
+
+class MemoryHierarchy:
+    """L1-D + L2 + L3 + DRAM with additive latency composition."""
+
+    def __init__(self, params: Optional[MachineParams] = None) -> None:
+        params = params or MachineParams()
+        self.params = params
+        self.l1d = Cache(params.l1d)
+        self.l2 = Cache(params.l2)
+        self.l3 = Cache(params.l3)
+        self.dram = DRAM(params.dram)
+        self.instr_fetches = 0
+
+    # -- shared levels -----------------------------------------------------------
+
+    def _below_l1(self, addr: int, cycle: int) -> int:
+        """Latency of servicing a block request that missed in an L1."""
+        l2 = self.l2
+        latency = l2.params.latency
+        if l2.touch(addr):
+            return latency
+        l3 = self.l3
+        latency += l3.params.latency
+        if l3.touch(addr):
+            l2.fill(addr)
+            return latency
+        latency += self.dram.access(addr, cycle + latency)
+        l3.fill(addr)
+        l2.fill(addr)
+        return latency
+
+    # -- instruction side ----------------------------------------------------------
+
+    def fetch_block(self, addr: int, cycle: int) -> int:
+        """Latency to deliver the 64-byte block at ``addr`` to the L1-I."""
+        self.instr_fetches += 1
+        return self._below_l1(addr, cycle)
+
+    # -- data side -------------------------------------------------------------------
+
+    def data_access(self, addr: int, cycle: int, is_store: bool = False) -> int:
+        """Completion latency of a load/store issued at ``cycle``.
+
+        Stores complete at L1-D fill time from the pipeline's perspective
+        (there is a store queue; we charge the L1-D latency only).
+        """
+        l1d = self.l1d
+        latency = l1d.params.latency
+        if l1d.touch(addr):
+            return latency
+        if is_store:
+            # Write-allocate in the background; the store retires without
+            # waiting for the fill.
+            self._fill_l1d(addr, cycle)
+            return latency
+        latency += self._below_l1(addr, cycle + latency)
+        l1d.fill(addr)
+        return latency
+
+    def _fill_l1d(self, addr: int, cycle: int) -> None:
+        self._below_l1(addr, cycle)
+        self.l1d.fill(addr)
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1d, self.l2, self.l3):
+            cache.reset_stats()
+        self.dram.reset_stats()
+        self.instr_fetches = 0

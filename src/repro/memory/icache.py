@@ -1,0 +1,276 @@
+"""Instruction-cache interface and the conventional baseline L1-I.
+
+All L1-I variants (conventional, small-block, distillation, UBS) implement
+:class:`InstructionCacheBase`, so the fetch engine and FDIP are agnostic to
+the cache organisation. Lookups are *fetch ranges* — a start byte address
+plus a byte count, never crossing a 64-byte transfer-block boundary — the
+interface Section IV-A introduces (and which degenerates to block lookup
+for conventional caches).
+
+The conventional cache carries the instrumentation behind the motivation
+figures: per-block accessed-byte bit-vectors (Fig. 1 byte-usage histogram
+and Fig. 2 storage-efficiency sampling) and first-touch distance tracking
+(Fig. 4).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..params import CacheParams, TRANSFER_BLOCK
+from ..stats.histograms import ByteUsageHistogram, TouchDistanceStats
+from .replacement import ReplacementPolicy, make_policy
+
+
+class MissKind(IntEnum):
+    """Lookup outcomes; the partial kinds only occur for UBS (Fig. 5/6)."""
+
+    HIT = 0
+    FULL_MISS = 1
+    MISSING_SUBBLOCK = 2
+    OVERRUN = 3
+    UNDERRUN = 4
+
+
+class LookupResult:
+    """Outcome of a fetch-range lookup."""
+
+    __slots__ = ("kind", "block_addr")
+
+    def __init__(self, kind: MissKind, block_addr: int) -> None:
+        self.kind = kind
+        self.block_addr = block_addr
+
+    @property
+    def hit(self) -> bool:
+        return self.kind == MissKind.HIT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LookupResult({self.kind.name}, block={self.block_addr:#x})"
+
+
+class InstructionCacheBase:
+    """Interface shared by every L1-I organisation."""
+
+    def __init__(self, latency: int, mshr_entries: int) -> None:
+        self.latency = latency
+        self.mshr_entries = mshr_entries
+        self.hits = 0
+        self.misses = 0
+        self.recording = True
+        self.byte_usage = ByteUsageHistogram()
+        self.touch_distance = TouchDistanceStats()
+
+    # -- interface -------------------------------------------------------------
+
+    def lookup(self, addr: int, nbytes: int) -> LookupResult:
+        """Demand access for ``nbytes`` starting at ``addr`` (within one
+        transfer block). Updates replacement/accessed state."""
+        raise NotImplementedError
+
+    def fill(self, block_addr: int, prefetch: bool = False) -> None:
+        """Install the 64-byte block that arrived from the lower levels."""
+        raise NotImplementedError
+
+    def probe_range(self, addr: int, nbytes: int) -> bool:
+        """Presence check without side effects (used by FDIP)."""
+        raise NotImplementedError
+
+    def storage_snapshot(self) -> Tuple[int, int]:
+        """(used_bytes, stored_bytes) over the current contents."""
+        raise NotImplementedError
+
+    def block_count(self) -> int:
+        """Number of valid blocks currently resident."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    @staticmethod
+    def split_range(addr: int, nbytes: int):
+        """Split an arbitrary byte range at transfer-block boundaries."""
+        end = addr + nbytes
+        while addr < end:
+            boundary = (addr | (TRANSFER_BLOCK - 1)) + 1
+            chunk = min(end, boundary) - addr
+            yield addr, chunk
+            addr += chunk
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.byte_usage = ByteUsageHistogram()
+        self.touch_distance = TouchDistanceStats()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class ConventionalICache(InstructionCacheBase):
+    """The baseline fixed-block-size L1-I (32 KB, 8-way, LRU by default)."""
+
+    def __init__(self, params: Optional[CacheParams] = None,
+                 policy: Optional[ReplacementPolicy] = None,
+                 track_touch_distance: bool = False) -> None:
+        if params is None:
+            params = CacheParams(name="L1I", size=32 * 1024, ways=8,
+                                 latency=4, mshr_entries=8)
+        if params.block_size != TRANSFER_BLOCK:
+            raise ConfigurationError(
+                "ConventionalICache models 64-byte blocks; use "
+                "SmallBlockICache for other block sizes"
+            )
+        super().__init__(params.latency, params.mshr_entries)
+        self.params = params
+        self.sets = params.sets
+        self.ways = params.ways
+        self._index_mask = self.sets - 1
+        self.policy = policy or make_policy(params.replacement,
+                                            self.sets, self.ways)
+        self.track_touch_distance = track_touch_distance
+
+        n = self.sets
+        w = self.ways
+        # Non-admitted (bypassed) blocks are served from a tiny stream
+        # buffer instead of the cache array (read-around, as admission-
+        # controlled designs like ACIC do).
+        self._bypass: List[int] = []
+        self._bypass_capacity = 4
+        self._tags: List[List[Optional[int]]] = [[None] * w for _ in range(n)]
+        self._accessed: List[List[int]] = [[0] * w for _ in range(n)]
+        self._reused: List[List[bool]] = [[False] * w for _ in range(n)]
+        self._set_misses: List[int] = [0] * n
+        self._insert_miss: List[List[int]] = [[0] * w for _ in range(n)]
+        # bytes first touched at set-miss-delta d (d in 0..3, 4 = later)
+        self._touch: List[List[List[int]]] = [
+            [[0] * 5 for _ in range(w)] for _ in range(n)
+        ]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, addr: int, nbytes: int) -> LookupResult:
+        block = addr >> 6
+        block_addr = block << 6
+        if (addr + nbytes - 1) >> 6 != block:
+            raise SimulationError(
+                f"fetch range {addr:#x}+{nbytes} crosses a block boundary"
+            )
+        set_idx = block & self._index_mask
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(block)
+        except ValueError:
+            if block in self._bypass:
+                self.hits += 1
+                return LookupResult(MissKind.HIT, block_addr)
+            self.misses += 1
+            self._set_misses[set_idx] += 1
+            self.policy.note_miss(addr, set_idx)
+            return LookupResult(MissKind.FULL_MISS, block_addr)
+
+        self.hits += 1
+        self.policy.on_hit(set_idx, way, addr)
+        self._mark(set_idx, way, addr - block_addr, nbytes)
+        return LookupResult(MissKind.HIT, block_addr)
+
+    def _mark(self, set_idx: int, way: int, offset: int, nbytes: int) -> None:
+        mask = ((1 << nbytes) - 1) << offset
+        prev = self._accessed[set_idx][way]
+        # "Reuse" means re-fetching bytes that were already fetched during
+        # this residency (a revisit or loop) — the initial fetch burst
+        # after a fill touches only fresh bytes and is not reuse. This is
+        # the signal dead-block policies (GHRP/ACIC) train on.
+        if mask & prev:
+            self._reused[set_idx][way] = True
+        new_bits = mask & ~prev
+        if not new_bits:
+            return
+        self._accessed[set_idx][way] = prev | mask
+        if self.track_touch_distance:
+            delta = self._set_misses[set_idx] - self._insert_miss[set_idx][way]
+            bucket = delta if delta < 4 else 4
+            self._touch[set_idx][way][bucket] += new_bits.bit_count()
+
+    # -- fill / eviction -----------------------------------------------------------
+
+    def fill(self, block_addr: int, prefetch: bool = False) -> None:
+        block = block_addr >> 6
+        set_idx = block & self._index_mask
+        if not self.policy.should_admit(block_addr, set_idx):
+            if block not in self._bypass:
+                self._bypass.append(block)
+                if len(self._bypass) > self._bypass_capacity:
+                    self._bypass.pop(0)
+            return
+        tags = self._tags[set_idx]
+        if block in tags:
+            return  # lost race with a merged fill
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = self.policy.victim(set_idx)
+            self._evict(set_idx, way)
+        tags[way] = block
+        self._accessed[set_idx][way] = 0
+        self._reused[set_idx][way] = False
+        self._insert_miss[set_idx][way] = self._set_misses[set_idx]
+        if self.track_touch_distance:
+            self._touch[set_idx][way] = [0] * 5
+        self.policy.on_fill(set_idx, way, block_addr)
+
+    def _evict(self, set_idx: int, way: int) -> None:
+        old = self._tags[set_idx][way]
+        if old is None:
+            return
+        accessed = self._accessed[set_idx][way]
+        if self.recording:
+            used = accessed.bit_count()
+            self.byte_usage.add(used)
+            if self.track_touch_distance and used:
+                self.touch_distance.add(self._touch[set_idx][way][:4], used)
+        self.policy.on_evict(set_idx, way, old << 6,
+                             self._reused[set_idx][way])
+        self._tags[set_idx][way] = None
+
+    def invalidate(self, block_addr: int) -> bool:
+        block = block_addr >> 6
+        set_idx = block & self._index_mask
+        try:
+            way = self._tags[set_idx].index(block)
+        except ValueError:
+            return False
+        self._evict(set_idx, way)
+        return True
+
+    # -- probes and snapshots -------------------------------------------------------
+
+    def probe_range(self, addr: int, nbytes: int) -> bool:
+        block = addr >> 6
+        if block in self._bypass:
+            return True
+        return block in self._tags[block & self._index_mask]
+
+    def storage_snapshot(self) -> Tuple[int, int]:
+        used = 0
+        stored = 0
+        for set_idx in range(self.sets):
+            tags = self._tags[set_idx]
+            accessed = self._accessed[set_idx]
+            for way in range(self.ways):
+                if tags[way] is not None:
+                    stored += TRANSFER_BLOCK
+                    used += accessed[way].bit_count()
+        return used, stored
+
+    def block_count(self) -> int:
+        return sum(1 for tags in self._tags for t in tags if t is not None)
+
+    def flush_residents_into_stats(self) -> None:
+        """Account still-resident blocks as if evicted (end-of-run option)."""
+        for set_idx in range(self.sets):
+            for way in range(self.ways):
+                if self._tags[set_idx][way] is not None:
+                    self._evict(set_idx, way)

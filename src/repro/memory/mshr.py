@@ -1,0 +1,73 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses and merges requests to
+a block that is already in flight. Entries are keyed by 64-byte block
+address and store the cycle at which the fill completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError, SimulationError
+
+
+class MSHRFile:
+    """A small fully-associative MSHR file."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ConfigurationError("MSHR file needs at least one entry")
+        self.capacity = entries
+        self._inflight: Dict[int, int] = {}   # block addr -> fill cycle
+        self.merges = 0
+        self.allocations = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def expire(self, cycle: int) -> None:
+        """Retire every entry whose fill has completed by ``cycle``."""
+        if not self._inflight:
+            return
+        done = [blk for blk, fill in self._inflight.items() if fill <= cycle]
+        for blk in done:
+            del self._inflight[blk]
+
+    def full(self, cycle: int) -> bool:
+        """True when no entry can be allocated at ``cycle``."""
+        self.expire(cycle)
+        return len(self._inflight) >= self.capacity
+
+    def lookup(self, block_addr: int, cycle: int) -> Optional[int]:
+        """Fill cycle of an in-flight request for ``block_addr``, if any."""
+        fill = self._inflight.get(block_addr)
+        if fill is not None and fill <= cycle:
+            del self._inflight[block_addr]
+            return None
+        if fill is not None:
+            self.merges += 1
+        return fill
+
+    def allocate(self, block_addr: int, fill_cycle: int, cycle: int) -> None:
+        """Track a new outstanding miss."""
+        self.expire(cycle)
+        if block_addr in self._inflight:
+            raise SimulationError(
+                f"MSHR double allocation for block {block_addr:#x}"
+            )
+        if len(self._inflight) >= self.capacity:
+            raise SimulationError("MSHR allocation while file is full")
+        self._inflight[block_addr] = fill_cycle
+        self.allocations += 1
+
+    def earliest_completion(self) -> Optional[int]:
+        """Cycle at which the next outstanding fill lands (None if idle)."""
+        if not self._inflight:
+            return None
+        return min(self._inflight.values())
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self.merges = 0
+        self.allocations = 0

@@ -1,0 +1,14 @@
+"""Statistics: counters, histograms and storage-efficiency sampling."""
+
+from .counters import FrontEndStats, SimResult
+from .efficiency import EfficiencySampler, EfficiencySummary
+from .histograms import ByteUsageHistogram, TouchDistanceStats
+
+__all__ = [
+    "ByteUsageHistogram",
+    "EfficiencySampler",
+    "EfficiencySummary",
+    "FrontEndStats",
+    "SimResult",
+    "TouchDistanceStats",
+]

@@ -1,0 +1,101 @@
+"""Aggregate counters produced by one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, Optional
+
+from .efficiency import EfficiencySummary
+
+
+@dataclass
+class FrontEndStats:
+    """Front-end event counters over the measured window."""
+
+    fetch_stall_cycles: int = 0       # cycles fetch blocked on an L1-I miss
+    mispredict_stall_cycles: int = 0  # cycles fetch blocked on a resteer
+    l1i_hits: int = 0
+    l1i_misses: int = 0               # demand misses (all kinds)
+    l1i_partial_missing: int = 0      # UBS: missing sub-block
+    l1i_partial_overrun: int = 0      # UBS: overrun
+    l1i_partial_underrun: int = 0     # UBS: underrun
+    prefetches_issued: int = 0
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    btb_resteers: int = 0
+
+    @property
+    def l1i_accesses(self) -> int:
+        return self.l1i_hits + self.l1i_misses
+
+    @property
+    def partial_misses(self) -> int:
+        return (self.l1i_partial_missing + self.l1i_partial_overrun
+                + self.l1i_partial_underrun)
+
+    def mpki(self, instructions: int) -> float:
+        if not instructions:
+            return 0.0
+        return self.l1i_misses / (instructions / 1000.0)
+
+
+@dataclass
+class SimResult:
+    """Everything a benchmark needs from one (workload, config) run."""
+
+    workload: str
+    config: str
+    instructions: int
+    cycles: int
+    frontend: FrontEndStats = field(default_factory=FrontEndStats)
+    efficiency: Optional[EfficiencySummary] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        return self.frontend.mpki(self.instructions)
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio versus a baseline run of the same workload."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def stall_coverage_over(self, baseline: "SimResult") -> float:
+        """Fraction of the baseline's fetch-stall cycles this run removed
+        (the 'stall cycles covered' metric of Fig. 8)."""
+        base = baseline.frontend.fetch_stall_cycles
+        if base <= 0:
+            return 0.0
+        return (base - self.frontend.fetch_stall_cycles) / base
+
+    # -- (de)serialisation for the experiment result cache ---------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "workload": self.workload,
+            "config": self.config,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "frontend": asdict(self.frontend),
+            "efficiency": asdict(self.efficiency) if self.efficiency else None,
+            "extra": self.extra,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        eff = data.get("efficiency")
+        return cls(
+            workload=data["workload"],
+            config=data["config"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            frontend=FrontEndStats(**data["frontend"]),
+            efficiency=EfficiencySummary(**eff) if eff else None,
+            extra=dict(data.get("extra", {})),
+        )

@@ -1,0 +1,82 @@
+"""Storage-efficiency sampling (Figures 2 and 7).
+
+The paper samples the L1-I every 100K cycles and records the fraction of
+resident bytes that have been accessed at least once since they were
+installed. :class:`EfficiencySampler` collects those samples from any
+instruction cache exposing ``storage_snapshot()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: The paper's sampling interval in cycles.
+SAMPLE_INTERVAL = 100_000
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Distribution summary of storage-efficiency samples (violin data)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    p25: float
+    median: float
+    p75: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EfficiencySummary":
+        if not samples:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        ordered = sorted(samples)
+
+        def pct(q: float) -> float:
+            idx = q * (len(ordered) - 1)
+            lo = math.floor(idx)
+            hi = math.ceil(idx)
+            frac = idx - lo
+            return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+        return cls(
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p25=pct(0.25),
+            median=pct(0.5),
+            p75=pct(0.75),
+            n_samples=len(ordered),
+        )
+
+
+class EfficiencySampler:
+    """Collects periodic (used_bytes / stored_bytes) samples from a cache."""
+
+    def __init__(self, interval: int = SAMPLE_INTERVAL) -> None:
+        self.interval = interval
+        self.samples: List[float] = []
+        self._next_sample = interval
+
+    def maybe_sample(self, cache, cycle: int) -> None:
+        """Sample if ``cycle`` has passed the next sampling point. ``cache``
+        must expose ``storage_snapshot() -> (used_bytes, stored_bytes)``."""
+        while cycle >= self._next_sample:
+            used, stored = cache.storage_snapshot()
+            if stored:
+                self.samples.append(used / stored)
+            self._next_sample += self.interval
+
+    def force_sample(self, cache) -> None:
+        used, stored = cache.storage_snapshot()
+        if stored:
+            self.samples.append(used / stored)
+
+    def summary(self) -> EfficiencySummary:
+        return EfficiencySummary.from_samples(self.samples)
+
+    def reset(self, cycle: int = 0) -> None:
+        self.samples.clear()
+        self._next_sample = cycle + self.interval

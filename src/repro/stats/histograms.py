@@ -1,0 +1,96 @@
+"""Histograms backing the paper's motivation figures.
+
+* :class:`ByteUsageHistogram` — bytes accessed per block lifetime (Fig. 1).
+* :class:`TouchDistanceStats` — fraction of eventually-accessed bytes that
+  are touched before the next *n* misses in the same set (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..params import TRANSFER_BLOCK
+
+
+class ByteUsageHistogram:
+    """Distribution of bytes accessed during a cache block's lifetime.
+
+    One count is added per block eviction; :meth:`cdf` reproduces the
+    cumulative curves of Figure 1.
+    """
+
+    def __init__(self, block_size: int = TRANSFER_BLOCK) -> None:
+        self.block_size = block_size
+        self.counts: List[int] = [0] * (block_size + 1)
+        self.evictions = 0
+
+    def add(self, bytes_used: int) -> None:
+        if not 0 <= bytes_used <= self.block_size:
+            raise ValueError(f"bytes_used {bytes_used} out of range")
+        self.counts[bytes_used] += 1
+        self.evictions += 1
+
+    def merge(self, other: "ByteUsageHistogram") -> None:
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.evictions += other.evictions
+
+    def cdf(self) -> List[float]:
+        """cdf[b] = fraction of blocks with at most ``b`` bytes accessed."""
+        if not self.evictions:
+            return [0.0] * (self.block_size + 1)
+        acc = 0
+        out = []
+        for c in self.counts:
+            acc += c
+            out.append(acc / self.evictions)
+        return out
+
+    def fraction_at_most(self, n_bytes: int) -> float:
+        return self.cdf()[min(n_bytes, self.block_size)]
+
+    def fraction_at_least(self, n_bytes: int) -> float:
+        if n_bytes <= 0:
+            return 1.0
+        return 1.0 - self.cdf()[min(n_bytes, self.block_size) - 1]
+
+    def mean(self) -> float:
+        if not self.evictions:
+            return 0.0
+        return sum(b * c for b, c in enumerate(self.counts)) / self.evictions
+
+
+class TouchDistanceStats:
+    """How quickly a block's eventually-used bytes are first touched.
+
+    For every evicted block we know how many of its accessed bytes were
+    first touched before the 1st, 2nd, 3rd and 4th subsequent miss in the
+    same set. ``fraction(n)`` is Figure 4's y-value for x = n.
+    """
+
+    MAX_N = 4
+
+    def __init__(self) -> None:
+        self.touched_by: List[int] = [0] * (self.MAX_N + 1)
+        self.total_accessed = 0
+
+    def add(self, per_delta_counts: Sequence[int], total: int) -> None:
+        """``per_delta_counts[d]`` = bytes first touched when the block had
+        seen exactly ``d`` set misses since insertion (d = MAX_N bucket
+        collects everything later)."""
+        self.total_accessed += total
+        acc = 0
+        for n in range(1, self.MAX_N + 1):
+            acc += per_delta_counts[n - 1]
+            self.touched_by[n] += acc
+
+    def fraction(self, n: int) -> float:
+        """Fraction of accessed bytes touched before the n-th set miss."""
+        if not 1 <= n <= self.MAX_N:
+            raise ValueError(f"n must be in 1..{self.MAX_N}")
+        if not self.total_accessed:
+            return 0.0
+        return self.touched_by[n] / self.total_accessed
+
+    def as_dict(self) -> Dict[int, float]:
+        return {n: self.fraction(n) for n in range(1, self.MAX_N + 1)}

@@ -1,0 +1,76 @@
+"""Binary trace file format.
+
+The on-disk format is a small, self-describing binary container so that
+synthesised workloads can be persisted and re-used without re-running the
+generator (mirroring how ChampSim consumes pre-packaged trace files).
+
+Layout (little endian):
+
+* 8-byte magic ``b"REPROTR1"``
+* u32 instruction count
+* per instruction: ``<QQQBBBbbb`` = pc, target, mem_addr, size, kind,
+  flags (bit0 = taken), src1, src2, dst — 30 bytes each.
+
+Files ending in ``.gz`` are transparently gzip-compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, Union
+
+from ..errors import TraceError
+from .record import Instruction, InstrKind
+
+MAGIC = b"REPROTR1"
+_REC = struct.Struct("<QQQBBBbbb")
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str) -> BinaryIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def write_trace(path: PathLike, instructions: Iterable[Instruction]) -> int:
+    """Write instructions to ``path``; returns the number written."""
+    records = list(instructions)
+    with _open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<I", len(records)))
+        for ins in records:
+            fh.write(_REC.pack(
+                ins.pc, ins.target, ins.mem_addr, ins.size, int(ins.kind),
+                1 if ins.taken else 0, ins.src1, ins.src2, ins.dst,
+            ))
+    return len(records)
+
+
+def read_trace(path: PathLike) -> List[Instruction]:
+    """Read a trace previously written by :func:`write_trace`."""
+    with _open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceError(f"{path}: bad magic {magic!r}")
+        (count,) = struct.unpack("<I", fh.read(4))
+        payload = fh.read(count * _REC.size)
+        if len(payload) != count * _REC.size:
+            raise TraceError(
+                f"{path}: truncated trace (expected {count} records)"
+            )
+        out: List[Instruction] = []
+        append = out.append
+        for off in range(0, len(payload), _REC.size):
+            pc, target, mem, size, kind, flags, s1, s2, d = _REC.unpack_from(
+                payload, off
+            )
+            append(Instruction(
+                pc, size, InstrKind(kind), taken=bool(flags & 1),
+                target=target, src1=s1, src2=s2, dst=d, mem_addr=mem,
+            ))
+        return out

@@ -1,0 +1,102 @@
+"""Terminal visualisation helpers: ASCII bar charts, CDFs and sparklines.
+
+Dependency-free rendering used by the examples and available to library
+users for quick looks at results without a plotting stack:
+
+>>> from repro.viz import bar_chart
+>>> print(bar_chart({"conv32": 1.0, "ubs": 1.014}, width=20))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A left-to-right bar filling ``fraction`` of ``width`` cells."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    rem = cells - full
+    partial = _BLOCKS[int(rem * (len(_BLOCKS) - 1))] if full < width else ""
+    return ("█" * full + partial).ljust(width)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              fmt: str = "{:.3f}", baseline: Optional[float] = None) -> str:
+    """Horizontal bar chart of labelled values.
+
+    With ``baseline`` set, bars show the delta from the baseline (useful
+    for speedups around 1.0).
+    """
+    if not values:
+        return "(no data)"
+    label_w = max(len(str(k)) for k in values)
+    if baseline is not None:
+        deltas = {k: v - baseline for k, v in values.items()}
+        span = max(1e-12, max(abs(d) for d in deltas.values()))
+        lines = []
+        for key, value in values.items():
+            d = deltas[key]
+            bar = _bar(abs(d) / span, width // 2)
+            side = f"{' ' * (width // 2)}|{bar}" if d >= 0 \
+                else f"{_bar(abs(d) / span, width // 2)[::-1].rjust(width // 2)}|{' ' * (width // 2)}"
+            lines.append(f"{str(key).ljust(label_w)}  {side}  "
+                         + fmt.format(value))
+        return "\n".join(lines)
+    top = max(values.values())
+    lo = min(0.0, min(values.values()))
+    span = max(1e-12, top - lo)
+    lines = []
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(label_w)}  "
+                     f"{_bar((value - lo) / span, width)}  "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    span = hi - lo
+    if span <= 0:
+        return _SPARKS[0] * len(series)
+    out = []
+    for v in series:
+        idx = int((v - lo) / span * (len(_SPARKS) - 1))
+        out.append(_SPARKS[idx])
+    return "".join(out)
+
+
+def cdf_plot(cdf: Sequence[float], width: int = 64, height: int = 8,
+             x_label: str = "bytes", y_label: str = "fraction") -> str:
+    """Render a CDF (values in [0,1] indexed by x) as an ASCII plot."""
+    if not cdf:
+        return "(no data)"
+    n = len(cdf)
+    xs = [int(i * (n - 1) / (width - 1)) for i in range(width)]
+    samples = [cdf[x] for x in xs]
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = row / height
+        line = "".join("█" if s >= threshold - 1e-12 else " "
+                       for s in samples)
+        axis = f"{threshold:4.2f} |"
+        rows.append(axis + line)
+    rows.append("     +" + "-" * width)
+    rows.append(f"      0 {x_label} ... {n - 1}   (y = {y_label})")
+    return "\n".join(rows)
+
+
+def histogram(counts: Mapping[object, int], width: int = 40) -> str:
+    """Vertical-label histogram of bucketed counts."""
+    if not counts:
+        return "(no data)"
+    total = sum(counts.values()) or 1
+    return bar_chart({k: v / total for k, v in counts.items()},
+                     width=width, fmt="{:.1%}")

@@ -1,0 +1,67 @@
+"""UBS configuration catalogue tests."""
+
+import pytest
+
+from repro.core.configs import (
+    WAY_CONFIGS,
+    ubs_params_for_budget,
+    way_config,
+)
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_UBS_WAY_SIZES, UBSParams
+
+
+class TestCatalogue:
+    def test_paper_14way_lists(self):
+        assert way_config(14, 1) == (4, 4, 8, 12, 16, 24, 28, 28, 32, 36,
+                                     36, 64, 64, 64)
+        assert way_config(14, 2) == (4, 4, 8, 16, 24, 28, 32, 36, 40, 44,
+                                     52, 60, 64, 64)
+
+    def test_16way_config1_is_default(self):
+        assert way_config(16, 1) == DEFAULT_UBS_WAY_SIZES
+
+    def test_all_configs_sorted_and_valid(self):
+        for (n_ways, _cfg), sizes in WAY_CONFIGS.items():
+            assert len(sizes) == n_ways
+            assert list(sizes) == sorted(sizes)
+            assert all(4 <= s <= 64 for s in sizes)
+            UBSParams(way_sizes=sizes)  # passes validation
+
+    def test_budgets_comparable(self):
+        default = sum(DEFAULT_UBS_WAY_SIZES)
+        for sizes in WAY_CONFIGS.values():
+            assert abs(sum(sizes) - default) < 0.25 * default
+
+    def test_unknown_config(self):
+        with pytest.raises(ConfigurationError):
+            way_config(11, 1)
+
+
+class TestBudgetScaling:
+    def test_default_budget_is_64_sets(self):
+        params = ubs_params_for_budget(32 * 1024)
+        assert params.sets == 64
+
+    def test_half_budget_halves_sets(self):
+        params = ubs_params_for_budget(16 * 1024)
+        assert params.sets == 32
+
+    def test_double_budget(self):
+        params = ubs_params_for_budget(64 * 1024)
+        assert params.sets == 128
+
+    def test_intermediate_budget_widens_ways(self):
+        params = ubs_params_for_budget(20 * 1024)
+        assert params.sets == 32
+        assert params.data_capacity > ubs_params_for_budget(16 * 1024).data_capacity
+        assert params.data_capacity <= 20 * 1024
+
+    def test_way_profile_preserved(self):
+        params = ubs_params_for_budget(128 * 1024)
+        assert params.way_sizes[:16] == DEFAULT_UBS_WAY_SIZES
+
+    def test_scaled_params_validate(self):
+        for kb in (16, 20, 32, 64, 128):
+            params = ubs_params_for_budget(kb * 1024)
+            assert params.data_capacity <= kb * 1024 * 1.05

@@ -1,0 +1,81 @@
+"""Logical-way consolidation (bin packing) tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consolidation import (
+    consolidate_ways,
+    physical_way_of,
+    shift_amount,
+)
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_UBS_WAY_SIZES
+
+
+class TestConsolidation:
+    def test_default_config_fits_8_physical_ways(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES)
+        assert len(bins) == 8  # 7 data ways + the predictor (Section VI-I2)
+
+    def test_bins_respect_capacity(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES,
+                                include_predictor=False)
+        for members in bins:
+            assert sum(DEFAULT_UBS_WAY_SIZES[i] for i in members) <= 64
+
+    def test_every_way_packed_once(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES,
+                                include_predictor=False)
+        packed = sorted(i for members in bins for i in members)
+        assert packed == list(range(len(DEFAULT_UBS_WAY_SIZES)))
+
+    def test_predictor_gets_own_bin(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES)
+        assert bins[-1] == [len(DEFAULT_UBS_WAY_SIZES)]
+
+    def test_oversized_way_rejected(self):
+        with pytest.raises(ConfigurationError):
+            consolidate_ways((4, 65))
+
+    @given(ways=st.lists(st.integers(1, 64), min_size=1, max_size=24))
+    @settings(max_examples=200, deadline=None)
+    def test_packing_validity_property(self, ways):
+        bins = consolidate_ways(ways, include_predictor=False)
+        packed = sorted(i for members in bins for i in members)
+        assert packed == list(range(len(ways)))
+        for members in bins:
+            assert sum(ways[i] for i in members) <= 64
+        # FFD is within the classic bound of optimal; at least check we
+        # never exceed one bin per way.
+        assert len(bins) <= len(ways)
+
+
+class TestMapping:
+    def test_offsets_within_physical_way(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES)
+        mapping = physical_way_of(DEFAULT_UBS_WAY_SIZES, bins)
+        assert len(mapping) == len(DEFAULT_UBS_WAY_SIZES) + 1
+        for idx, (phys, offset) in mapping.items():
+            assert 0 <= phys < len(bins)
+            assert 0 <= offset < 64
+
+    def test_shift_amount_adds_preceding_sizes(self):
+        ways = (8, 8, 48)
+        bins = [[2, 0, 1]]  # one physical way: 48 + 8 + 8
+        assert shift_amount(ways, bins, logical_way=2, fetch_byte_offset=4) == 4
+        assert shift_amount(ways, bins, logical_way=0, fetch_byte_offset=0) == 48
+        assert shift_amount(ways, bins, logical_way=1, fetch_byte_offset=3) == 59
+
+    def test_shift_amount_bounds_checked(self):
+        ways = (8, 8, 48)
+        bins = [[0, 1, 2]]
+        with pytest.raises(ConfigurationError):
+            shift_amount(ways, bins, logical_way=0, fetch_byte_offset=8)
+        with pytest.raises(ConfigurationError):
+            shift_amount(ways, bins, logical_way=9, fetch_byte_offset=0)
+
+    def test_shift_amount_for_default_config_in_range(self):
+        bins = consolidate_ways(DEFAULT_UBS_WAY_SIZES)
+        for way, size in enumerate(DEFAULT_UBS_WAY_SIZES):
+            shift = shift_amount(DEFAULT_UBS_WAY_SIZES, bins, way, size - 1)
+            assert 0 <= shift < 64

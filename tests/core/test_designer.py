@@ -1,0 +1,97 @@
+"""Way-size designer tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.designer import design_params, design_way_sizes
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_UBS_WAY_SIZES
+
+
+def histogram_from_demands(demands):
+    counts = [0] * 65
+    for d in demands:
+        counts[d] += 1
+    return counts
+
+
+class TestQuantileDesign:
+    def test_uniform_demands_give_spread_sizes(self):
+        counts = histogram_from_demands(
+            [4] * 100 + [16] * 100 + [32] * 100 + [64] * 100)
+        sizes = design_way_sizes(counts, n_ways=4, budget=4 + 16 + 32 + 64)
+        assert sizes == (4, 16, 32, 64)
+
+    def test_small_demands_give_small_ways(self):
+        counts = histogram_from_demands([4] * 1000 + [64] * 10)
+        sizes = design_way_sizes(counts, n_ways=4, budget=76)
+        assert sizes[0] == 4 and sizes[1] == 4
+
+    def test_all_full_blocks(self):
+        counts = histogram_from_demands([64] * 100)
+        sizes = design_way_sizes(counts, n_ways=4, budget=256)
+        assert sizes == (64, 64, 64, 64)
+
+    def test_budget_respected(self):
+        counts = histogram_from_demands([8] * 50 + [24] * 50 + [64] * 50)
+        sizes = design_way_sizes(counts, n_ways=16, budget=444)
+        assert sum(sizes) == 444
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_way_sizes([0] * 65, n_ways=4)
+
+    def test_too_small_budget_rejected(self):
+        counts = histogram_from_demands([64] * 10)
+        with pytest.raises(ConfigurationError):
+            design_way_sizes(counts, n_ways=16, budget=32)
+
+    def test_short_histogram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_way_sizes([1] * 10, n_ways=4)
+
+
+class TestParamsConstruction:
+    def test_designed_params_validate(self):
+        counts = histogram_from_demands(
+            [4] * 300 + [12] * 200 + [28] * 200 + [52] * 100 + [64] * 120)
+        params = design_params(counts)
+        assert len(params.way_sizes) == 16
+        assert params.data_bytes_per_set == sum(params.way_sizes) + 64
+
+    def test_table2_like_profile_reproduces_table2_shape(self):
+        """Feeding a Fig.-1b-like distribution yields a Table-II-like
+        way list: several tiny ways, a mid range, a few 64B ways."""
+        demands = ([4] * 190 + [8] * 110 + [12] * 90 + [16] * 80
+                   + [24] * 110 + [32] * 90 + [40] * 70 + [52] * 90
+                   + [64] * 170)
+        counts = histogram_from_demands(demands)
+        sizes = design_way_sizes(counts, n_ways=16, budget=444)
+        assert sizes[0] <= 8
+        assert sizes[-1] >= 56   # budget repair may trim the top way
+        assert sum(sizes) == 444
+        small = sum(1 for s in sizes if s <= 16)
+        assert 4 <= small <= 10  # Table II has 8
+
+
+class TestProperties:
+    @given(demands=st.lists(st.integers(1, 64), min_size=5, max_size=400),
+           n_ways=st.sampled_from([8, 12, 16]),
+           budget=st.sampled_from([256, 444, 512]))
+    @settings(max_examples=100, deadline=None)
+    def test_always_valid(self, demands, n_ways, budget):
+        counts = histogram_from_demands(
+            [((d + 3) // 4) * 4 for d in demands])
+        sizes = design_way_sizes(counts, n_ways=n_ways, budget=budget)
+        assert len(sizes) == n_ways
+        assert list(sizes) == sorted(sizes)
+        assert all(4 <= s <= 64 and s % 4 == 0 for s in sizes)
+        assert abs(sum(sizes) - budget) <= 64  # within one repair step
+
+    @given(n_ways=st.sampled_from([12, 16, 18]))
+    @settings(max_examples=10, deadline=None)
+    def test_default_budget_from_table2_histogram(self, n_ways):
+        # A histogram exactly matching Table II's way sizes as demands.
+        counts = histogram_from_demands(list(DEFAULT_UBS_WAY_SIZES) * 10)
+        sizes = design_way_sizes(counts, n_ways=n_ways, budget=444)
+        assert sum(sizes) == 444

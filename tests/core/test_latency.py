@@ -1,0 +1,65 @@
+"""Table IV / Section VI-I latency model tests."""
+
+import pytest
+
+from repro.core.latency import (
+    ADDER_6BIT_NS,
+    COMPARATOR_NS,
+    UBS_HIT_LOGIC_NS,
+    data_array_latency,
+    latency_report,
+    tag_array_latency,
+)
+from repro.params import DEFAULT_UBS_WAY_SIZES
+
+
+class TestCalibrationPoints:
+    def test_tag_8way(self):
+        assert tag_array_latency(8) == pytest.approx(0.09)
+
+    def test_tag_17way(self):
+        assert tag_array_latency(17) == pytest.approx(0.12, abs=0.005)
+
+    def test_data_8way(self):
+        assert data_array_latency(8) == pytest.approx(0.77)
+
+    def test_data_17way(self):
+        assert data_array_latency(17) == pytest.approx(1.71)
+
+    def test_monotonic_in_ways(self):
+        assert data_array_latency(12) > data_array_latency(8)
+        assert tag_array_latency(12) > tag_array_latency(8)
+
+
+class TestSynthesisConstants:
+    def test_hit_logic_is_1_6x_comparator(self):
+        assert UBS_HIT_LOGIC_NS == pytest.approx(1.6 * COMPARATOR_NS,
+                                                 abs=1e-3)
+
+    def test_paper_values(self):
+        assert COMPARATOR_NS == 0.018
+        assert UBS_HIT_LOGIC_NS == 0.028
+        assert ADDER_6BIT_NS == 0.01
+
+
+class TestReport:
+    def test_paper_conclusions(self):
+        r = latency_report(DEFAULT_UBS_WAY_SIZES)
+        assert r.ubs_hit_detect_ns == pytest.approx(0.13, abs=0.005)
+        assert r.ubs_shift_amount_ns == pytest.approx(0.14, abs=0.005)
+        assert r.physical_data_ways == 8
+        assert r.ubs_data_ns == pytest.approx(0.77)
+        assert not r.tag_path_critical
+        assert not r.shift_on_critical_path
+        assert r.same_latency_as_baseline
+
+    def test_oversized_config_loses_latency_parity(self):
+        # 24 x 64B ways cannot consolidate into 8 physical ways.
+        r = latency_report((64,) * 24)
+        assert r.physical_data_ways > 8
+        assert not r.same_latency_as_baseline
+
+    def test_smaller_config_keeps_parity(self):
+        from repro.core.configs import way_config
+        r = latency_report(way_config(12, 1))
+        assert r.same_latency_as_baseline

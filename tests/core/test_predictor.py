@@ -1,0 +1,118 @@
+"""Usefulness predictor tests across organisations."""
+
+import pytest
+
+from repro.core.predictor import PredictorConfig, UsefulnessPredictor
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_direct_mapped(self):
+        c = PredictorConfig.direct_mapped(64)
+        assert c.entries == 64 and c.ways == 1
+
+    def test_set_associative(self):
+        c = PredictorConfig.set_associative(64, 8, "fifo")
+        assert c.sets == 8 and c.ways == 8 and c.policy == "fifo"
+
+    def test_fully_associative(self):
+        c = PredictorConfig.fully_associative(64)
+        assert c.sets == 1 and c.ways == 64
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            PredictorConfig(policy="plru")
+
+    def test_bad_sets(self):
+        with pytest.raises(ConfigurationError):
+            PredictorConfig(sets=48)
+
+    def test_indivisible_entries(self):
+        with pytest.raises(ConfigurationError):
+            PredictorConfig.set_associative(65, 8)
+
+
+class TestDirectMapped:
+    def test_insert_and_mark(self):
+        p = UsefulnessPredictor(PredictorConfig.direct_mapped(64))
+        assert p.insert(100) is None
+        assert p.contains(100)
+        assert p.mark(100, 0, 16)
+        assert not p.mark(101, 0, 16)
+
+    def test_conflict_eviction_returns_mask(self):
+        p = UsefulnessPredictor(PredictorConfig.direct_mapped(64))
+        p.insert(100)
+        p.mark(100, 8, 8)
+        victim = p.insert(100 + 64)      # same set
+        assert victim == (100, 0xFF << 8)
+
+    def test_no_conflict_no_eviction(self):
+        p = UsefulnessPredictor(PredictorConfig.direct_mapped(64))
+        p.insert(100)
+        assert p.insert(101) is None
+
+    def test_merged_insert_unions_masks(self):
+        p = UsefulnessPredictor(PredictorConfig.direct_mapped(64))
+        p.insert(100, initial_mask=0xF)
+        assert p.insert(100, initial_mask=0xF0) is None
+        victim = p.insert(100 + 64)
+        assert victim == (100, 0xFF)
+
+    def test_mark_bits(self):
+        p = UsefulnessPredictor()
+        p.insert(7)
+        assert p.mark_bits(7, 0b1010)
+        assert not p.mark_bits(8, 0b1)
+        assert p.evict(7) == (7, 0b1010)
+
+    def test_forced_evict(self):
+        p = UsefulnessPredictor()
+        p.insert(5)
+        assert p.evict(5) == (5, 0)
+        assert not p.contains(5)
+        assert p.evict(5) is None
+
+
+class TestSetAssociative:
+    def test_lru_eviction_order(self):
+        p = UsefulnessPredictor(PredictorConfig.set_associative(8, 2, "lru"))
+        sets = p.config.sets
+        a, b, c = 0, sets, 2 * sets   # same set
+        p.insert(a)
+        p.insert(b)
+        p.mark(a, 0, 4)               # refresh a
+        victim = p.insert(c)
+        assert victim[0] == b
+
+    def test_fifo_ignores_marks(self):
+        p = UsefulnessPredictor(PredictorConfig.set_associative(8, 2, "fifo"))
+        sets = p.config.sets
+        a, b, c = 0, sets, 2 * sets
+        p.insert(a)
+        p.insert(b)
+        p.mark(a, 0, 4)               # FIFO: does not refresh
+        victim = p.insert(c)
+        assert victim[0] == a
+
+    def test_fully_associative_capacity(self):
+        p = UsefulnessPredictor(PredictorConfig.fully_associative(4))
+        for block in range(4):
+            assert p.insert(block) is None
+        assert p.insert(99) is not None
+        assert p.block_count() == 4
+
+
+class TestSnapshot:
+    def test_storage_snapshot(self):
+        p = UsefulnessPredictor()
+        p.insert(1)
+        p.mark(1, 0, 32)
+        used, stored = p.storage_snapshot()
+        assert stored == 64 and used == 32
+
+    def test_entries_iteration(self):
+        p = UsefulnessPredictor()
+        p.insert(1, initial_mask=0b11)
+        p.insert(2)
+        assert dict(p.entries()) == {1: 0b11, 2: 0}

@@ -1,0 +1,102 @@
+"""Table III storage model tests (bit-exact against the paper)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.storage import (
+    conventional_storage,
+    small_block_storage,
+    start_offset_bits,
+    tag_bits,
+    ubs_overhead_kib,
+    ubs_storage,
+)
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_UBS_WAY_SIZES
+
+
+class TestTagBits:
+    def test_paper_config(self):
+        assert tag_bits(sets=64) == 26
+
+    def test_more_sets_fewer_tag_bits(self):
+        assert tag_bits(sets=128) == 25
+
+
+class TestStartOffsetBits:
+    @pytest.mark.parametrize("way,expected", [
+        (64, 0), (52, 2), (36, 3), (32, 4), (24, 4), (16, 4),
+        (12, 4), (8, 4), (4, 4),
+    ])
+    def test_paper_values(self, way, expected):
+        assert start_offset_bits(way) == expected
+
+    def test_table3_sum(self):
+        total = sum(start_offset_bits(w) for w in DEFAULT_UBS_WAY_SIZES)
+        assert total == 48  # 6 bytes per set
+
+    def test_byte_granularity(self):
+        # Variable-length ISAs track bytes: 6 bits for a 4B way.
+        assert start_offset_bits(4, granularity=1) == 6
+
+    def test_oversized_way_rejected(self):
+        with pytest.raises(ConfigurationError):
+            start_offset_bits(128)
+
+
+class TestConventional:
+    def test_paper_totals(self):
+        report = conventional_storage()
+        assert report.total_bytes_per_set == 542.0
+        assert report.total_kib == pytest.approx(33.875)
+        assert report.tag_metadata_bits_per_set == 240  # 30 bytes
+
+    def test_64kb_variant(self):
+        report = conventional_storage(size=64 * 1024)
+        assert report.sets == 128
+        assert report.data_bytes_per_set == 512
+
+
+class TestUBS:
+    def test_paper_totals(self):
+        report = ubs_storage(DEFAULT_UBS_WAY_SIZES)
+        assert report.data_bytes_per_set == 508
+        assert report.bitvector_bits_per_set == 16
+        assert report.start_offset_bits_per_set == 48
+        assert report.tag_metadata_bits_per_set == 523
+        assert report.total_bytes_per_set == pytest.approx(581.375)
+        assert report.total_kib == pytest.approx(36.3359375)
+
+    def test_paper_overhead(self):
+        assert ubs_overhead_kib(DEFAULT_UBS_WAY_SIZES) == \
+            pytest.approx(2.4609375)
+
+    def test_lru_bits_scale_with_ways(self):
+        small = ubs_storage((4, 8, 16, 64))
+        # 4 ways -> 2 LRU bits: (26+2+1)*4 + 27 predictor bits.
+        assert small.tag_metadata_bits_per_set == 4 * 29 + 27
+
+
+class TestSmallBlock:
+    def test_16b_more_tags_than_64b(self):
+        r16 = small_block_storage(16)
+        r64 = conventional_storage()
+        assert r16.total_kib > r64.total_kib
+
+    def test_budgets_comparable_to_ubs(self):
+        # Section VI-G sizes the three designs similarly.
+        r16 = small_block_storage(16).total_kib
+        r32 = small_block_storage(32).total_kib
+        ubs = ubs_storage(DEFAULT_UBS_WAY_SIZES).total_kib
+        assert max(r16, r32, ubs) - min(r16, r32, ubs) < 6
+
+
+class TestProperties:
+    @given(ways=st.lists(st.sampled_from([4, 8, 12, 16, 24, 32, 36, 52, 64]),
+                         min_size=1, max_size=24))
+    @settings(max_examples=100, deadline=None)
+    def test_totals_monotone_in_ways(self, ways):
+        ways = sorted(ways)
+        report = ubs_storage(ways)
+        assert report.total_bytes_per_set > sum(ways)
+        assert report.total_bytes == report.total_bytes_per_set * 64

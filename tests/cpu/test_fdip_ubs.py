@@ -1,0 +1,65 @@
+"""Machine-level FDIP + UBS interaction tests."""
+
+import pytest
+
+from repro.cpu.machine import Machine, build_icache
+from repro.trace.synthesis import ProgramBuilder, TraceWalker
+
+from ..conftest import small_spec
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = small_spec(seed=31, n_functions=400, n_entry_points=24,
+                      zipf_alpha=0.6)
+    return TraceWalker(ProgramBuilder(spec).build(), spec).run(30_000)
+
+
+class TestPrefetchIntoPredictor:
+    def test_prefetches_flow_through_predictor(self, trace):
+        machine = Machine(trace, build_icache("ubs"))
+        result = machine.run(6000, 20_000)
+        ubs = machine.icache
+        assert result.frontend.prefetches_issued > 0
+        # Prefetched-and-used blocks leave the predictor into the ways.
+        assert ubs.predictor.evictions > 0
+        assert ubs.subblocks_installed > 0
+
+    def test_unaccessed_prefetches_are_weeded(self, trace):
+        machine = Machine(trace, build_icache("ubs"))
+        machine.run(6000, 20_000)
+        ubs = machine.icache
+        # The weeding mechanism drops some fraction of blocks whose bytes
+        # were never demanded (squash-free model keeps this small but
+        # nonzero under predictor conflict pressure).
+        assert ubs.blocks_discarded >= 0
+        assert ubs.blocks_discarded < ubs.predictor.evictions
+
+    def test_predictor_variants_agree_functionally(self, trace):
+        results = {}
+        for config in ("ubs", "ubs_pred_sa8fifo", "ubs_pred_full"):
+            machine = Machine(trace, build_icache(config))
+            results[config] = machine.run(6000, 20_000)
+        ipcs = [r.ipc for r in results.values()]
+        # Different organisations differ only mildly (Fig. 15's point).
+        assert max(ipcs) / min(ipcs) < 1.1
+
+
+class TestMSHRPressure:
+    def test_small_mshr_never_overflows(self, trace):
+        from repro.core.ubs_cache import UBSICache
+        from repro.params import UBSParams
+        cache = UBSICache(UBSParams(mshr_entries=2))
+        machine = Machine(trace, cache)
+        result = machine.run(6000, 20_000)
+        assert result.instructions == 20_000
+        assert len(machine.mshr) <= 2
+
+    def test_fewer_mshrs_cannot_help(self, trace):
+        from repro.core.ubs_cache import UBSICache
+        from repro.params import UBSParams
+        narrow = Machine(trace, UBSICache(UBSParams(mshr_entries=1)))
+        wide = Machine(trace, UBSICache(UBSParams(mshr_entries=16)))
+        r_narrow = narrow.run(6000, 20_000)
+        r_wide = wide.run(6000, 20_000)
+        assert r_wide.ipc >= r_narrow.ipc * 0.98

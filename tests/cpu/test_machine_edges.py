@@ -1,0 +1,92 @@
+"""Machine edge cases: skip-ahead equivalence, variable ISA, tiny queues."""
+
+import pytest
+
+from repro.cpu.machine import Machine, build_icache
+from repro.params import CoreParams, MachineParams
+from repro.trace.synthesis import ProgramBuilder, TraceWalker
+
+from ..conftest import small_spec
+
+
+class TestSkipAheadEquivalence:
+    """The stall fast-forward is a pure optimisation: disabling it must
+    not change a single cycle or counter."""
+
+    @pytest.mark.parametrize("config", ["conv32", "ubs"])
+    def test_identical_results(self, config):
+        spec = small_spec(seed=99, n_functions=300, n_entry_points=24)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(20_000)
+
+        fast = Machine(trace, build_icache(config))
+        r_fast = fast.run(4000, 12_000)
+
+        slow = Machine(trace, build_icache(config))
+        slow._maybe_skip = lambda *args, **kwargs: None  # disable
+        r_slow = slow.run(4000, 12_000)
+
+        assert r_fast.cycles == r_slow.cycles
+        assert r_fast.frontend.fetch_stall_cycles == \
+            r_slow.frontend.fetch_stall_cycles
+        assert r_fast.frontend.mispredict_stall_cycles == \
+            r_slow.frontend.mispredict_stall_cycles
+        assert r_fast.frontend.l1i_misses == r_slow.frontend.l1i_misses
+        assert r_fast.frontend.prefetches_issued == \
+            r_slow.frontend.prefetches_issued
+
+
+class TestVariableISA:
+    def test_variable_isa_machine_run(self):
+        spec = small_spec(isa="variable", seed=5)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(15_000)
+        result = Machine(trace, build_icache("conv32")).run(3000, 10_000)
+        assert result.instructions == 10_000
+        assert result.ipc > 0
+
+    def test_variable_isa_on_ubs_uses_byte_granularity(self):
+        from repro.core.ubs_cache import UBSICache
+        from repro.params import UBSParams
+        spec = small_spec(isa="variable", seed=5)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(15_000)
+        cache = UBSICache(UBSParams(instruction_granularity=1))
+        result = Machine(trace, cache).run(3000, 10_000)
+        assert result.instructions == 10_000
+
+
+class TestSmallStructures:
+    def test_tiny_ftq_still_correct(self):
+        spec = small_spec(seed=3)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(12_000)
+        params = MachineParams(core=CoreParams(ftq_entries=4))
+        result = Machine(trace, build_icache("conv32"), params).run(2000, 8000)
+        assert result.instructions == 8000
+
+    def test_tiny_rob(self):
+        spec = small_spec(seed=3)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(12_000)
+        params = MachineParams(core=CoreParams(rob_entries=16))
+        small = Machine(trace, build_icache("conv32"), params).run(2000, 8000)
+        big = Machine(trace, build_icache("conv32")).run(2000, 8000)
+        assert small.ipc <= big.ipc + 1e-9
+
+    def test_narrow_fetch(self):
+        spec = small_spec(seed=3)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(12_000)
+        params = MachineParams(core=CoreParams(fetch_width=1, fetch_bytes=4,
+                                               commit_width=1,
+                                               decode_width=1))
+        narrow = Machine(trace, build_icache("conv32"), params).run(2000, 8000)
+        wide = Machine(trace, build_icache("conv32")).run(2000, 8000)
+        assert narrow.ipc < wide.ipc
+        assert narrow.ipc <= 1.0 + 1e-9
+
+
+class TestWarmupBoundary:
+    def test_stats_cover_only_measured_window(self):
+        spec = small_spec(seed=3)
+        trace = TraceWalker(ProgramBuilder(spec).build(), spec).run(20_000)
+        short = Machine(trace, build_icache("conv32")).run(12_000, 6000)
+        # After a long warm-up the caches are warm: measured misses are
+        # far fewer than a cold run of the same window length.
+        cold = Machine(trace, build_icache("conv32")).run(1000, 6000)
+        assert short.frontend.l1i_misses <= cold.frontend.l1i_misses

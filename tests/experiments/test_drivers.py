@@ -1,0 +1,102 @@
+"""Experiment-driver tests at a tiny scale with an isolated cache.
+
+Each driver must produce structurally complete data and readable text
+regardless of absolute numbers, so these run the real pipeline with
+REPRO_SCALE=0.02 on a private cache directory.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments import (
+    fig01_byte_usage,
+    fig02_storage_efficiency,
+    fig04_touch_distance,
+    fig09_partial_misses,
+    sec6l_cvp,
+    table3_storage,
+    table4_latency,
+)
+from repro.experiments.runner import ResultCache
+
+
+@pytest.fixture(scope="module")
+def tiny_cache(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("cache"))
+    old = runner_mod._default_cache
+    runner_mod._default_cache = cache
+    yield cache
+    runner_mod._default_cache = old
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tiny_cache):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+
+
+class TestModelDrivers:
+    def test_table3(self):
+        data = table3_storage.run()
+        text = table3_storage.format(data)
+        assert "36.336" in text and "2.46" in text
+
+    def test_table4(self):
+        report = table4_latency.run()
+        text = table4_latency.format(report)
+        assert "0.77" in text and "0.13" in text
+        assert report.same_latency_as_baseline
+
+
+class TestSimulationDrivers:
+    """One driver per family of data shapes; these simulate for real at
+    2% scale so they stay below a minute combined."""
+
+    def test_fig01_structure(self):
+        hist = fig01_byte_usage.histogram_for("spec_000")
+        assert hist.evictions > 0
+        cdf = hist.cdf()
+        assert len(cdf) == 65
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_fig02_structure(self):
+        result = runner_mod.run_pair("spec_000", "conv32")
+        assert result.efficiency is not None
+        assert 0 < result.efficiency.mean <= 1
+
+    def test_fig04_extras_present(self):
+        result = runner_mod.run_pair("server_000", "conv32")
+        touch = result.extra["touch_distance"]
+        assert set(touch) == {"1", "2", "3", "4"}
+        values = [touch[str(n)] for n in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_fig09_structure(self):
+        result = runner_mod.run_pair("server_000", "ubs")
+        fe = result.frontend
+        assert fe.partial_misses <= fe.l1i_misses + 1
+
+    def test_sec6l_families(self):
+        assert set(sec6l_cvp.FAMILIES) == {"cvp_srv", "cvp_int", "cvp_fp"}
+
+
+class TestFormatters:
+    def test_fig01_format(self):
+        data = {"1b": {"server_x": [0.0] * 64 + [1.0]}}
+        text = fig01_byte_usage.format(data)
+        assert "server_x" in text
+
+    def test_fig02_format(self):
+        from repro.stats.efficiency import EfficiencySummary
+        s = EfficiencySummary.from_samples([0.5])
+        text = fig02_storage_efficiency.format({"server": {"w": s}})
+        assert "0.50" in text
+
+    def test_fig04_format_handles_empty(self):
+        text = fig04_touch_distance.format({"spec": {}})
+        assert "no set misses" in text
+
+    def test_fig09_format(self):
+        row = {"missing_subblock": 0.1, "overrun": 0.05, "underrun": 0.01,
+               "partial": 0.16, "misses": 100.0}
+        text = fig09_partial_misses.format({"server_001": row})
+        assert "16.0%" in text

@@ -1,0 +1,54 @@
+"""Report helper tests."""
+
+import pytest
+
+from repro.experiments.report import (
+    by_family,
+    format_series,
+    format_table,
+    geomean,
+    mean,
+    perf_workloads,
+)
+
+
+class TestStats:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0]) == 2.0
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestGrouping:
+    def test_by_family(self):
+        groups = by_family(["server_001", "server_002", "client_000"])
+        assert groups == {"server": ["server_001", "server_002"],
+                          "client": ["client_000"]}
+
+    def test_perf_workloads_families(self):
+        names = perf_workloads()
+        assert any(n.startswith("server_") for n in names)
+        assert any(n.startswith("client_") for n in names)
+        assert any(n.startswith("spec_") for n in names)
+        assert not any(n.startswith("google_") for n in names)
+
+
+class TestFormatting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in out
+
+    def test_format_series(self):
+        out = format_series("t", [(1, 0.5), (2, 0.25)])
+        assert out.startswith("t:")
+        assert "1:0.500" in out

@@ -1,0 +1,38 @@
+"""Tests of the cache prefill CLI's pair enumeration."""
+
+from repro.experiments.run_all import all_pairs
+
+
+class TestAllPairs:
+    def test_no_duplicates(self):
+        pairs = all_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    def test_covers_every_benchmark_config(self):
+        pairs = set(all_pairs())
+        needed_configs = {
+            "conv16", "conv32", "conv64", "conv128", "conv192",
+            "conv32_16w", "conv32_ghrp", "conv32_acic", "distill32",
+            "small16", "small32", "ubs",
+            "ubs_budget16", "ubs_budget20", "ubs_budget64", "ubs_budget128",
+            "ubs_pred_dm128", "ubs_pred_sa8lru", "ubs_pred_sa8fifo",
+            "ubs_pred_full",
+            "ubs_ways10c1", "ubs_ways18c2",
+        }
+        present = {c for _w, c in pairs}
+        assert needed_configs <= present
+
+    def test_google_only_needs_analysis_configs(self):
+        pairs = all_pairs()
+        google_configs = {c for w, c in pairs if w.startswith("google_")}
+        assert google_configs == {"conv32", "ubs"}
+
+    def test_cvp_configs(self):
+        pairs = all_pairs()
+        cvp_configs = {c for w, c in pairs if w.startswith("cvp_")}
+        assert cvp_configs == {"conv32", "conv64", "ubs"}
+
+    def test_every_config_buildable(self):
+        from repro.cpu.machine import build_icache
+        for _w, config in all_pairs():
+            build_icache(config)  # raises on unknown names

@@ -1,0 +1,74 @@
+"""Experiment runner / result cache tests (run at a tiny scale)."""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import ResultCache, run_pair, sweep
+from repro.stats.counters import SimResult
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.03")
+    cache = ResultCache(tmp_path / "cache")
+    monkeypatch.setattr(runner_mod, "_default_cache", cache)
+    yield cache
+
+
+class TestCache:
+    def test_run_and_cache(self, isolated_cache):
+        r = run_pair("client_000", "conv32")
+        assert r.workload == "client_000" and r.config == "conv32"
+        assert isolated_cache.load("client_000", "conv32") is not None
+
+    def test_cache_hit_is_identical(self):
+        r1 = run_pair("client_000", "conv32")
+        r2 = run_pair("client_000", "conv32")
+        assert r1.cycles == r2.cycles
+        assert r1.frontend.l1i_misses == r2.frontend.l1i_misses
+
+    def test_corrupt_cache_entry_ignored(self, isolated_cache):
+        r = run_pair("client_000", "conv32")
+        path = isolated_cache._result_path("client_000", "conv32")
+        path.write_text("{not json")
+        assert isolated_cache.load("client_000", "conv32") is None
+        r2 = run_pair("client_000", "conv32")
+        assert r2.cycles == r.cycles
+
+    def test_trace_cache_reused(self, isolated_cache):
+        from repro.trace.workloads import get_workload
+        wl = get_workload("client_000")
+        t1 = isolated_cache.trace_for(wl)
+        t2 = isolated_cache.trace_for(wl)
+        assert t1 == t2
+        assert isolated_cache._trace_path("client_000").exists()
+
+    def test_analysis_extras_on_baseline(self):
+        r = run_pair("client_000", "conv32")
+        assert "byte_usage_counts" in r.extra
+        assert "touch_distance" in r.extra
+        assert len(r.extra["byte_usage_counts"]) == 65
+
+    def test_no_analysis_extras_on_other_configs(self):
+        r = run_pair("client_000", "ubs")
+        assert "byte_usage_counts" not in r.extra
+
+    def test_scale_isolation(self, isolated_cache, monkeypatch):
+        run_pair("client_000", "conv32")
+        monkeypatch.setenv("REPRO_SCALE", "0.04")
+        assert isolated_cache.load("client_000", "conv32") is None
+
+
+class TestSweep:
+    def test_sweep_covers_matrix(self):
+        out = sweep(["client_000"], ["conv32", "ubs"])
+        assert set(out) == {("client_000", "conv32"), ("client_000", "ubs")}
+        for result in out.values():
+            assert isinstance(result, SimResult)
+
+    def test_missing_pairs(self):
+        from repro.experiments.runner import missing_pairs
+        assert missing_pairs(["client_000"], ["conv32"]) == \
+            [("client_000", "conv32")]
+        run_pair("client_000", "conv32")
+        assert missing_pairs(["client_000"], ["conv32"]) == []

@@ -1,0 +1,22 @@
+"""Headline-summary formatting tests (pure parts)."""
+
+from repro.experiments.summary import Claim, format
+
+
+class TestClaimFormatting:
+    def test_format_marks_divergence(self):
+        claims = [
+            Claim("a claim", "X", "Y", True),
+            Claim("weak claim", "P", "Q", False),
+        ]
+        text = format(claims)
+        assert "[holds" in text
+        assert "DIVERGES" in text
+        assert "paper:    X" in text
+        assert "measured: Y" in text
+
+    def test_claim_is_frozen(self):
+        claim = Claim("c", "p", "m", True)
+        import pytest
+        with pytest.raises(AttributeError):
+            claim.holds = False

@@ -1,0 +1,56 @@
+"""Statistical behaviour of the hashed perceptron under realistic load."""
+
+import random
+
+from repro.frontend.perceptron import HashedPerceptron
+from repro.params import BranchParams
+
+
+class TestStatisticalAccuracy:
+    def _run_population(self, n_sites, bias, iters=20_000, seed=1):
+        rng = random.Random(seed)
+        p = HashedPerceptron()
+        sites = [0x400000 + 4 * i for i in range(n_sites)]
+        biases = {pc: (bias if rng.random() < 0.5 else 1 - bias)
+                  for pc in sites}
+        correct = 0
+        for _ in range(iters):
+            pc = sites[rng.randrange(n_sites)]
+            taken = rng.random() < biases[pc]
+            correct += p.predict_and_train(pc, taken) == taken
+        return correct / iters
+
+    def test_strongly_biased_population(self):
+        acc = self._run_population(n_sites=200, bias=0.95)
+        assert acc > 0.90
+
+    def test_random_population_is_coin_flip(self):
+        acc = self._run_population(n_sites=50, bias=0.5)
+        assert 0.35 < acc < 0.65
+
+    def test_capacity_degradation_with_aliasing(self):
+        few = self._run_population(n_sites=100, bias=0.95, seed=7)
+        many = self._run_population(n_sites=60_000, bias=0.95, seed=7)
+        assert many <= few + 0.02  # aliasing cannot make it better
+
+    def test_history_bits_bounded(self):
+        p = HashedPerceptron()
+        for i in range(200):
+            p.predict_and_train(0x1000 + 4 * i, True)
+        assert p._history < (1 << 64)
+
+
+class TestConfiguration:
+    def test_custom_geometry(self):
+        p = HashedPerceptron(BranchParams(perceptron_tables=4,
+                                          perceptron_entries=512))
+        assert p.n_tables == 4
+        assert p.entries == 512
+        p.predict_and_train(0x1234, True)
+        assert p.lookups == 1
+
+    def test_indices_within_tables(self):
+        p = HashedPerceptron()
+        for pc in range(0, 1 << 20, 4096):
+            for idx in p._indices(pc):
+                assert 0 <= idx < p.entries

@@ -1,0 +1,112 @@
+"""Perceptron, BTB and RAS unit tests."""
+
+from repro.frontend.btb import BTB
+from repro.frontend.perceptron import HashedPerceptron
+from repro.frontend.ras import ReturnAddressStack
+from repro.params import BranchParams
+
+
+class TestPerceptron:
+    def test_learns_always_taken(self):
+        p = HashedPerceptron()
+        pc = 0x1000
+        for _ in range(50):
+            p.predict_and_train(pc, True)
+        assert p.predict_and_train(pc, True) is True
+
+    def test_learns_always_not_taken(self):
+        p = HashedPerceptron()
+        pc = 0x2000
+        for _ in range(50):
+            p.predict_and_train(pc, False)
+        assert p.predict_and_train(pc, False) is False
+
+    def test_learns_history_correlated_pattern(self):
+        p = HashedPerceptron()
+        pc = 0x3000
+        # Alternating pattern is perfectly history-correlated.
+        outcome = True
+        for _ in range(600):
+            p.predict_and_train(pc, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            correct += p.predict_and_train(pc, outcome) == outcome
+            outcome = not outcome
+        assert correct > 90
+
+    def test_mispredict_counter(self):
+        p = HashedPerceptron()
+        baseline = p.mispredicts
+        p.predict_and_train(0x77, True)
+        assert p.lookups == 1
+        assert p.mispredicts >= baseline
+
+    def test_weights_saturate(self):
+        p = HashedPerceptron()
+        for _ in range(1000):
+            p.predict_and_train(0x5000, True)
+        assert all(w <= 31 for table in p._tables for w in table)
+        assert all(w >= -32 for table in p._tables for w in table)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB()
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_target_update(self):
+        btb = BTB()
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_capacity_eviction(self):
+        params = BranchParams(btb_entries=16, btb_ways=2)
+        btb = BTB(params)
+        sets = btb.sets
+        # 3 branches mapping to the same set of a 2-way BTB.
+        pcs = [(i * sets) << 2 for i in range(3)]
+        for pc in pcs:
+            btb.update(pc, pc + 4)
+        assert btb.lookup(pcs[0]) is None
+        assert btb.lookup(pcs[2]) == pcs[2] + 4
+
+    def test_lru_within_set(self):
+        params = BranchParams(btb_entries=16, btb_ways=2)
+        btb = BTB(params)
+        sets = btb.sets
+        a, b, c = ((i * sets) << 2 for i in range(3))
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.lookup(a)          # refresh a
+        btb.update(c, 3)       # evicts b
+        assert btb.lookup(b) is None
+        assert btb.lookup(a) == 1
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        assert len(ras) == 1

@@ -1,0 +1,49 @@
+"""DRAM timing model tests."""
+
+from repro.memory.dram import DRAM
+from repro.params import DramParams
+
+
+class TestRowBuffer:
+    def test_row_miss_then_hit(self):
+        dram = DRAM()
+        p = dram.params
+        first = dram.access(0x10000, cycle=0)
+        assert first >= p.row_miss_latency
+        second = dram.access(0x10000 + 64, cycle=1000)
+        assert second == p.row_hit_latency
+        assert dram.row_hits == 1 and dram.row_misses == 1
+
+    def test_row_conflict(self):
+        dram = DRAM()
+        p = dram.params
+        addr_a = 0
+        addr_b = p.row_size * p.banks  # same bank, different row
+        dram.access(addr_a, 0)
+        latency = dram.access(addr_b, 1000)
+        assert latency >= p.row_miss_latency
+
+    def test_different_banks_independent(self):
+        dram = DRAM()
+        p = dram.params
+        dram.access(0, 0)
+        dram.access(p.row_size, 1000)          # bank 1
+        assert dram.access(64, 2000) == p.row_hit_latency  # bank 0 row open
+
+    def test_channel_serialisation(self):
+        dram = DRAM()
+        p = dram.params
+        l1 = dram.access(0, 0)
+        l2 = dram.access(64, 0)       # same cycle: queues behind the first
+        assert l2 >= p.row_hit_latency + p.bus_cycles
+
+    def test_custom_params(self):
+        dram = DRAM(DramParams(t_rp=10, t_rcd=10, t_cas=10, bus_cycles=2))
+        assert dram.params.row_miss_latency == 32
+        assert dram.params.row_hit_latency == 12
+
+    def test_reset_stats(self):
+        dram = DRAM()
+        dram.access(0, 0)
+        dram.reset_stats()
+        assert dram.accesses == 0

@@ -1,0 +1,68 @@
+"""Memory hierarchy composition tests."""
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.params import MachineParams
+
+
+class TestInstructionPath:
+    def test_l2_hit_latency(self):
+        h = MemoryHierarchy()
+        h.l2.fill(0x4000)
+        assert h.fetch_block(0x4000, 0) == h.l2.params.latency
+
+    def test_l3_hit_fills_l2(self):
+        h = MemoryHierarchy()
+        h.l3.fill(0x4000)
+        latency = h.fetch_block(0x4000, 0)
+        assert latency == h.l2.params.latency + h.l3.params.latency
+        assert h.l2.probe(0x4000)
+
+    def test_dram_path_fills_both(self):
+        h = MemoryHierarchy()
+        latency = h.fetch_block(0x4000, 0)
+        assert latency > h.l2.params.latency + h.l3.params.latency
+        assert h.l2.probe(0x4000) and h.l3.probe(0x4000)
+        assert h.dram.accesses == 1
+
+    def test_second_fetch_hits_l2(self):
+        h = MemoryHierarchy()
+        h.fetch_block(0x4000, 0)
+        assert h.fetch_block(0x4000, 100) == h.l2.params.latency
+
+
+class TestDataPath:
+    def test_l1d_hit(self):
+        h = MemoryHierarchy()
+        h.l1d.fill(0x8000)
+        assert h.data_access(0x8000, 0) == h.l1d.params.latency
+
+    def test_load_miss_fills_l1d(self):
+        h = MemoryHierarchy()
+        latency = h.data_access(0x8000, 0)
+        assert latency > h.l1d.params.latency
+        assert h.l1d.probe(0x8000)
+
+    def test_store_does_not_wait_for_fill(self):
+        h = MemoryHierarchy()
+        latency = h.data_access(0x8000, 0, is_store=True)
+        assert latency == h.l1d.params.latency
+        assert h.l1d.probe(0x8000)   # write-allocate happened in background
+
+    def test_instruction_and_data_share_l2(self):
+        h = MemoryHierarchy()
+        h.data_access(0xA000, 0)
+        assert h.fetch_block(0xA000, 100) == h.l2.params.latency
+
+    def test_reset_stats(self):
+        h = MemoryHierarchy()
+        h.fetch_block(0, 0)
+        h.data_access(64, 0)
+        h.reset_stats()
+        assert h.l2.accesses == 0
+        assert h.dram.accesses == 0
+        assert h.instr_fetches == 0
+
+    def test_custom_params(self):
+        params = MachineParams()
+        h = MemoryHierarchy(params)
+        assert h.l3.params.size == 2 * 1024 * 1024

@@ -1,0 +1,64 @@
+"""MSHR file tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_allocate_and_lookup(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x1000, fill_cycle=50, cycle=10)
+        assert mshr.lookup(0x1000, 20) == 50
+
+    def test_lookup_expires_completed(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x1000, 50, 10)
+        assert mshr.lookup(0x1000, 50) is None   # fill landed
+        assert len(mshr) == 0
+
+    def test_full_and_expire(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x0, 100, 0)
+        mshr.allocate(0x40, 200, 0)
+        assert mshr.full(50)
+        assert not mshr.full(150)   # first entry expired
+        assert len(mshr) == 1
+
+    def test_double_allocation_rejected(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x0, 100, 0)
+        with pytest.raises(SimulationError, match="double allocation"):
+            mshr.allocate(0x0, 120, 1)
+
+    def test_overflow_rejected(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(0x0, 100, 0)
+        with pytest.raises(SimulationError, match="full"):
+            mshr.allocate(0x40, 100, 0)
+
+    def test_earliest_completion(self):
+        mshr = MSHRFile(4)
+        assert mshr.earliest_completion() is None
+        mshr.allocate(0x0, 90, 0)
+        mshr.allocate(0x40, 60, 0)
+        assert mshr.earliest_completion() == 60
+
+    def test_merge_counter(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x0, 100, 0)
+        mshr.lookup(0x0, 10)
+        mshr.lookup(0x0, 20)
+        assert mshr.merges == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(0)
+
+    def test_reset(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x0, 100, 0)
+        mshr.reset()
+        assert len(mshr) == 0
+        assert mshr.allocations == 0

@@ -1,0 +1,93 @@
+"""Replacement policy unit tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRUPolicy(1, 4)
+        for way in range(4):
+            lru.on_fill(0, way, way << 6)
+        lru.on_hit(0, 0, 0)
+        assert lru.victim(0) == 1
+
+    def test_fill_refreshes(self):
+        lru = LRUPolicy(1, 2)
+        lru.on_fill(0, 0, 0)
+        lru.on_fill(0, 1, 64)
+        lru.on_fill(0, 0, 128)     # way 0 refilled, now MRU
+        assert lru.victim(0) == 1
+
+    def test_candidate_restriction(self):
+        lru = LRUPolicy(1, 8)
+        for way in range(8):
+            lru.on_fill(0, way, way << 6)
+        # way 0 is globally LRU, but candidates exclude it.
+        assert lru.victim(0, candidates=range(4, 8)) == 4
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy(2, 2)
+        lru.on_fill(0, 0, 0)
+        lru.on_fill(1, 1, 64)
+        assert lru.victim(0) == 1   # untouched way in set 0
+        assert lru.victim(1) == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            LRUPolicy(0, 4)
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        fifo = FIFOPolicy(1, 3)
+        for way in range(3):
+            fifo.on_fill(0, way, way << 6)
+        fifo.on_hit(0, 0, 0)
+        assert fifo.victim(0) == 0  # still the oldest fill
+
+    def test_fill_order(self):
+        fifo = FIFOPolicy(1, 3)
+        fifo.on_fill(0, 2, 0)
+        fifo.on_fill(0, 0, 64)
+        fifo.on_fill(0, 1, 128)
+        assert fifo.victim(0) == 2
+
+
+class TestRandom:
+    def test_victims_within_ways(self):
+        rnd = RandomPolicy(1, 4, seed=1)
+        for _ in range(100):
+            assert 0 <= rnd.victim(0) < 4
+
+    def test_candidate_restriction(self):
+        rnd = RandomPolicy(1, 8, seed=2)
+        for _ in range(50):
+            assert rnd.victim(0, candidates=[3, 5]) in (3, 5)
+
+    def test_seeded_reproducibility(self):
+        a = [RandomPolicy(1, 4, seed=9).victim(0) for _ in range(5)]
+        b = [RandomPolicy(1, 4, seed=9).victim(0) for _ in range(5)]
+        # same seeds -> same first draw
+        assert a[0] == b[0]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "ghrp", "acic"])
+    def test_known_policies(self, name):
+        policy = make_policy(name, 4, 4)
+        assert policy.sets == 4 and policy.ways == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown replacement"):
+            make_policy("plru", 4, 4)
+
+    def test_default_admission_is_permissive(self):
+        assert make_policy("lru", 1, 1).should_admit(0, 0)

@@ -1,0 +1,70 @@
+"""SimResult / FrontEndStats tests."""
+
+import pytest
+
+from repro.stats.counters import FrontEndStats, SimResult
+from repro.stats.efficiency import EfficiencySummary
+
+
+def result(cycles=1000, instructions=2000, stalls=100, **fe):
+    stats = FrontEndStats(fetch_stall_cycles=stalls, **fe)
+    return SimResult(workload="w", config="c", instructions=instructions,
+                     cycles=cycles, frontend=stats)
+
+
+class TestMetrics:
+    def test_ipc(self):
+        assert result().ipc == 2.0
+
+    def test_mpki(self):
+        r = result(instructions=10_000)
+        r.frontend.l1i_misses = 50
+        assert r.l1i_mpki == 5.0
+
+    def test_speedup(self):
+        fast = result(cycles=500)
+        slow = result(cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_stall_coverage(self):
+        base = result(stalls=200)
+        better = result(stalls=50)
+        assert better.stall_coverage_over(base) == pytest.approx(0.75)
+
+    def test_coverage_with_zero_base(self):
+        base = result(stalls=0)
+        assert result(stalls=10).stall_coverage_over(base) == 0.0
+
+    def test_partial_sum(self):
+        fe = FrontEndStats(l1i_partial_missing=3, l1i_partial_overrun=2,
+                           l1i_partial_underrun=1)
+        assert fe.partial_misses == 6
+
+    def test_accesses(self):
+        fe = FrontEndStats(l1i_hits=10, l1i_misses=5)
+        assert fe.l1i_accesses == 15
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        r = result()
+        r.frontend.l1i_misses = 42
+        r.efficiency = EfficiencySummary.from_samples([0.5, 0.7])
+        r.extra = {"block_count": 900}
+        back = SimResult.from_dict(r.to_dict())
+        assert back.workload == r.workload
+        assert back.cycles == r.cycles
+        assert back.frontend.l1i_misses == 42
+        assert back.efficiency.mean == r.efficiency.mean
+        assert back.extra == {"block_count": 900}
+
+    def test_roundtrip_without_efficiency(self):
+        back = SimResult.from_dict(result().to_dict())
+        assert back.efficiency is None
+
+    def test_json_compatible(self):
+        import json
+        r = result()
+        r.efficiency = EfficiencySummary.from_samples([0.4])
+        blob = json.dumps(r.to_dict())
+        assert SimResult.from_dict(json.loads(blob)).ipc == r.ipc

@@ -1,0 +1,76 @@
+"""Storage-efficiency sampler tests."""
+
+import pytest
+
+from repro.stats.efficiency import EfficiencySampler, EfficiencySummary
+
+
+class FakeCache:
+    def __init__(self, used, stored):
+        self.used = used
+        self.stored = stored
+
+    def storage_snapshot(self):
+        return self.used, self.stored
+
+
+class TestSampler:
+    def test_samples_at_interval(self):
+        sampler = EfficiencySampler(interval=100)
+        cache = FakeCache(32, 64)
+        sampler.maybe_sample(cache, 50)
+        assert sampler.samples == []
+        sampler.maybe_sample(cache, 100)
+        assert sampler.samples == [0.5]
+        sampler.maybe_sample(cache, 150)
+        assert len(sampler.samples) == 1
+
+    def test_catches_up_after_gap(self):
+        sampler = EfficiencySampler(interval=100)
+        cache = FakeCache(16, 64)
+        sampler.maybe_sample(cache, 350)   # skipped 3 sample points
+        assert len(sampler.samples) == 3
+
+    def test_empty_cache_not_sampled(self):
+        sampler = EfficiencySampler(interval=10)
+        sampler.maybe_sample(FakeCache(0, 0), 100)
+        assert sampler.samples == []
+
+    def test_force_sample(self):
+        sampler = EfficiencySampler(interval=1000)
+        sampler.force_sample(FakeCache(48, 64))
+        assert sampler.samples == [0.75]
+
+    def test_reset(self):
+        sampler = EfficiencySampler(interval=100)
+        sampler.force_sample(FakeCache(1, 2))
+        sampler.reset(cycle=500)
+        assert sampler.samples == []
+        sampler.maybe_sample(FakeCache(1, 2), 550)
+        assert sampler.samples == []
+        sampler.maybe_sample(FakeCache(1, 2), 600)
+        assert len(sampler.samples) == 1
+
+
+class TestSummary:
+    def test_from_samples(self):
+        s = EfficiencySummary.from_samples([0.2, 0.4, 0.6, 0.8])
+        assert s.mean == pytest.approx(0.5)
+        assert s.minimum == 0.2
+        assert s.maximum == 0.8
+        assert s.median == pytest.approx(0.5)
+        assert s.n_samples == 4
+
+    def test_quartiles_interpolate(self):
+        s = EfficiencySummary.from_samples([0.0, 1.0])
+        assert s.p25 == pytest.approx(0.25)
+        assert s.p75 == pytest.approx(0.75)
+
+    def test_empty(self):
+        s = EfficiencySummary.from_samples([])
+        assert s.n_samples == 0
+        assert s.mean == 0.0
+
+    def test_single_sample(self):
+        s = EfficiencySummary.from_samples([0.42])
+        assert s.mean == s.minimum == s.maximum == 0.42

@@ -1,0 +1,100 @@
+"""Histogram statistics tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.histograms import ByteUsageHistogram, TouchDistanceStats
+
+
+class TestByteUsage:
+    def test_cdf_simple(self):
+        h = ByteUsageHistogram()
+        for used in (8, 8, 32, 64):
+            h.add(used)
+        cdf = h.cdf()
+        assert cdf[7] == 0.0
+        assert cdf[8] == pytest.approx(0.5)
+        assert cdf[32] == pytest.approx(0.75)
+        assert cdf[64] == pytest.approx(1.0)
+
+    def test_fraction_helpers(self):
+        h = ByteUsageHistogram()
+        for used in (8, 16, 60, 64):
+            h.add(used)
+        assert h.fraction_at_most(16) == pytest.approx(0.5)
+        assert h.fraction_at_least(60) == pytest.approx(0.5)
+        assert h.fraction_at_least(0) == 1.0
+
+    def test_mean(self):
+        h = ByteUsageHistogram()
+        h.add(0)
+        h.add(64)
+        assert h.mean() == 32.0
+
+    def test_empty(self):
+        h = ByteUsageHistogram()
+        assert h.cdf() == [0.0] * 65
+        assert h.mean() == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = ByteUsageHistogram()
+        with pytest.raises(ValueError):
+            h.add(65)
+        with pytest.raises(ValueError):
+            h.add(-1)
+
+    def test_merge(self):
+        a = ByteUsageHistogram()
+        b = ByteUsageHistogram()
+        a.add(8)
+        b.add(16)
+        a.merge(b)
+        assert a.evictions == 2
+        assert a.counts[16] == 1
+
+    @given(st.lists(st.integers(0, 64), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_monotone_ending_at_one(self, values):
+        h = ByteUsageHistogram()
+        for v in values:
+            h.add(v)
+        cdf = h.cdf()
+        assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestTouchDistance:
+    def test_all_touched_before_first_miss(self):
+        td = TouchDistanceStats()
+        td.add([10, 0, 0, 0], total=10)
+        assert td.fraction(1) == 1.0
+        assert td.fraction(4) == 1.0
+
+    def test_staggered_touches(self):
+        td = TouchDistanceStats()
+        td.add([5, 3, 2, 0], total=12)   # 2 bytes arrive even later
+        assert td.fraction(1) == pytest.approx(5 / 12)
+        assert td.fraction(2) == pytest.approx(8 / 12)
+        assert td.fraction(3) == pytest.approx(10 / 12)
+        assert td.fraction(4) == pytest.approx(10 / 12)
+
+    def test_fraction_monotone(self):
+        td = TouchDistanceStats()
+        td.add([4, 2, 1, 1], total=10)
+        values = [td.fraction(n) for n in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_invalid_n(self):
+        td = TouchDistanceStats()
+        with pytest.raises(ValueError):
+            td.fraction(0)
+        with pytest.raises(ValueError):
+            td.fraction(5)
+
+    def test_empty(self):
+        assert TouchDistanceStats().fraction(1) == 0.0
+
+    def test_as_dict(self):
+        td = TouchDistanceStats()
+        td.add([1, 0, 0, 0], total=1)
+        assert td.as_dict() == {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}

@@ -1,0 +1,63 @@
+"""Public API surface tests."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_exported(self):
+        assert repro.UBSICache is not None
+        assert repro.Machine is not None
+        assert repro.ConventionalICache is not None
+
+    def test_errors_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.TraceError, repro.ReproError)
+
+
+class TestSimulateHelper:
+    @pytest.fixture(autouse=True)
+    def tiny(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+
+    def test_simulate_by_name(self):
+        result = repro.simulate("spec_000", "conv32")
+        assert result.workload == "spec_000"
+        assert result.config == "conv32"
+        assert result.ipc > 0
+
+    def test_simulate_workload_object(self):
+        wl = repro.get_workload("spec_000")
+        result = repro.simulate(wl, "ubs")
+        assert result.config == "ubs"
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(repro.ConfigurationError):
+            repro.simulate("nope_123", "conv32")
+
+    def test_simulate_unknown_config(self):
+        with pytest.raises(repro.ConfigurationError):
+            repro.simulate("spec_000", "magic_cache")
+
+    def test_simulate_without_efficiency(self):
+        result = repro.simulate("spec_000", "conv32",
+                                sample_efficiency=False)
+        assert result.efficiency is None
+
+    def test_storage_models_reachable(self):
+        conv = repro.conventional_storage()
+        ubs = repro.ubs_storage(repro.DEFAULT_UBS_WAY_SIZES)
+        assert ubs.total_kib > conv.total_kib
+
+    def test_latency_model_reachable(self):
+        report = repro.latency_report(repro.DEFAULT_UBS_WAY_SIZES)
+        assert report.same_latency_as_baseline

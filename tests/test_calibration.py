@@ -1,0 +1,108 @@
+"""Calibration regression tests.
+
+DESIGN.md §6 commits the synthetic workload families to specific shape
+properties (the ones the paper's analysis establishes for its production
+traces). These tests lock those shapes so generator changes cannot
+silently drift away from the paper's premises. They run one
+representative workload per family at half scale.
+"""
+
+import pytest
+
+from repro.analysis.trace_stats import branch_profile, footprint
+from repro.cpu.machine import Machine, build_icache
+from repro.memory.icache import ConventionalICache
+from repro.params import conventional_l1i
+from repro.trace.workloads import get_workload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def half_scale():
+    import os
+    old = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = "0.5"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_SCALE", None)
+    else:
+        os.environ["REPRO_SCALE"] = old
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Baseline run + trace per representative workload."""
+    out = {}
+    for name in ("server_001", "client_001", "spec_001", "google_001"):
+        wl = get_workload(name)
+        trace = wl.generate()
+        warmup, measure = wl.windows()
+        icache = ConventionalICache(conventional_l1i(32 * 1024))
+        machine = Machine(trace, icache)
+        result = machine.run(warmup, measure)
+        icache.flush_residents_into_stats()
+        out[name] = (trace, icache, result)
+    return out
+
+
+class TestFootprints:
+    def test_server_footprint_overwhelms_l1i(self, runs):
+        trace, _, _ = runs["server_001"]
+        assert footprint(trace).footprint_kib > 40
+
+    def test_client_moderate(self, runs):
+        trace, _, _ = runs["client_001"]
+        assert 15 < footprint(trace).footprint_kib < 120
+
+    def test_spec_small(self, runs):
+        trace, _, _ = runs["spec_001"]
+        assert footprint(trace).footprint_kib < 40
+
+
+class TestMPKIOrdering:
+    def test_families_ordered(self, runs):
+        mpki = {n: r.l1i_mpki for n, (_t, _i, r) in runs.items()}
+        assert mpki["server_001"] > 2.0
+        assert mpki["server_001"] > mpki["client_001"] > mpki["spec_001"]
+        assert mpki["spec_001"] < 0.5
+
+
+class TestByteUsageShapes:
+    """Figure 1's shape: most blocks use at most half their bytes."""
+
+    def test_server_cdf(self, runs):
+        _, icache, _ = runs["server_001"]
+        cdf = icache.byte_usage.cdf()
+        assert 0.10 < cdf[8] < 0.40
+        assert 0.50 < cdf[32] < 0.85
+        full = icache.byte_usage.counts[64] / icache.byte_usage.evictions
+        assert full < 0.25
+
+    def test_google_less_wasteful_than_server(self, runs):
+        _, srv, srv_r = runs["server_001"]
+        _, ggl, ggl_r = runs["google_001"]
+        assert ggl_r.efficiency.mean > srv_r.efficiency.mean
+
+
+class TestStorageEfficiency:
+    """Figure 2's levels: ~0.4-0.6 baseline efficiency."""
+
+    @pytest.mark.parametrize("name,low,high", [
+        ("server_001", 0.30, 0.60),
+        ("client_001", 0.40, 0.75),
+        ("spec_001", 0.40, 0.85),
+        ("google_001", 0.40, 0.75),
+    ])
+    def test_family_levels(self, runs, name, low, high):
+        _, _, result = runs[name]
+        assert low < result.efficiency.mean < high, name
+
+
+class TestBranchBehaviour:
+    def test_branch_density_realistic(self, runs):
+        for name, (trace, _, _) in runs.items():
+            p = branch_profile(trace)
+            assert 3.0 < p.avg_basic_block_instrs < 12.0, name
+
+    def test_server_has_many_static_sites(self, runs):
+        trace, _, _ = runs["server_001"]
+        assert branch_profile(trace).static_sites > 800  # BTB pressure

@@ -1,0 +1,41 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "server_001" in out
+        assert "google_000" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "Table IV" in out
+        assert "2.46" in out
+
+    def test_run(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["run", "spec_000", "conv32"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "MPKI" in out
+
+    def test_compare(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["compare", "spec_000", "conv32", "ubs"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_workload_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["run", "not_a_workload"])

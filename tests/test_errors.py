@@ -1,0 +1,32 @@
+"""Error-type hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [ConfigurationError, SimulationError,
+                                     TraceError])
+    def test_subclasses(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            raise SimulationError("boom")
+
+    def test_distinct_types(self):
+        with pytest.raises(TraceError):
+            raise TraceError("t")
+        try:
+            raise ConfigurationError("c")
+        except SimulationError:  # pragma: no cover
+            pytest.fail("ConfigurationError must not be a SimulationError")
+        except ConfigurationError:
+            pass

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run end to end.
+
+Run with a tiny REPRO_SCALE so the whole module stays fast; examples with
+hard-coded windows are inherently small.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart.py", ["spec_000"], monkeypatch, capsys)
+        assert "IPC" in out and "UBS" in out
+
+    def test_server_frontend_analysis(self, monkeypatch, capsys):
+        out = run_example("server_frontend_analysis.py", ["spec_000"],
+                          monkeypatch, capsys)
+        assert "Byte-usage CDF" in out
+        assert "Touch distance" in out
+
+    def test_custom_workload(self, monkeypatch, capsys):
+        out = run_example("custom_workload.py", [], monkeypatch, capsys)
+        assert "LIP (custom)" in out
+
+    def _run_paper_figures(self, argv, monkeypatch, capsys):
+        # The script exits via SystemExit even on success.
+        with pytest.raises(SystemExit) as exc:
+            run_example("paper_figures.py", argv, monkeypatch, capsys)
+        return exc.value.code or 0, capsys.readouterr().out
+
+    def test_paper_figures_listing(self, monkeypatch, capsys):
+        code, out = self._run_paper_figures([], monkeypatch, capsys)
+        assert code == 0
+        assert "fig10" in out and "table3" in out
+
+    def test_paper_figures_models(self, monkeypatch, capsys):
+        code, out = self._run_paper_figures(["table3"], monkeypatch, capsys)
+        assert code == 0
+        assert "2.46" in out
+
+    def test_paper_figures_unknown(self, monkeypatch, capsys):
+        code, _out = self._run_paper_figures(["fig99"], monkeypatch, capsys)
+        assert code == 2
+
+    @pytest.mark.slow
+    def test_cache_design_exploration(self, monkeypatch, capsys):
+        out = run_example("cache_design_exploration.py", [], monkeypatch,
+                          capsys)
+        assert "16-way c1" in out

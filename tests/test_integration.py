@@ -1,0 +1,117 @@
+"""Cross-module integration tests: whole-machine behaviour.
+
+These exercise the complete stack (generator -> BPU/FDIP -> caches ->
+back-end) on small windows and check the qualitative relationships the
+paper's evaluation is built on.
+"""
+
+import pytest
+
+from repro.cpu.machine import Machine, build_icache
+from repro.trace.synthesis import ProgramBuilder, TraceWalker
+
+from .conftest import small_spec
+
+
+@pytest.fixture(scope="module")
+def pressure():
+    spec = small_spec(name="integration_pressure", seed=11,
+                      n_functions=1600, n_entry_points=96,
+                      units_per_function_mean=5.5,
+                      hot_block_instrs_mean=3.2, p_unit_cold=0.44,
+                      p_unit_call=0.14, zipf_alpha=0.5,
+                      shared_fraction=0.25)
+    program = ProgramBuilder(spec).build()
+    trace = TraceWalker(program, spec).run(80_000)
+    return trace
+
+
+def run(trace, config, warmup=20_000, measure=55_000):
+    machine = Machine(trace, build_icache(config))
+    result = machine.run(warmup, measure)
+    result.config = config
+    return machine, result
+
+
+class TestCapacityOrdering:
+    def test_miss_counts_ordered_by_size(self, pressure):
+        _, small = run(pressure, "conv16")
+        _, base = run(pressure, "conv32")
+        _, big = run(pressure, "conv64")
+        assert small.frontend.l1i_misses >= base.frontend.l1i_misses
+        assert base.frontend.l1i_misses >= big.frontend.l1i_misses
+
+    def test_ubs_between_conv32_and_conv64(self, pressure):
+        _, base = run(pressure, "conv32")
+        _, big = run(pressure, "conv64")
+        _, ubs = run(pressure, "ubs")
+        # UBS sits between the two conventional sizes (a little slack for
+        # partial-miss noise at the margins).
+        assert ubs.frontend.l1i_misses <= base.frontend.l1i_misses * 1.05
+        assert ubs.frontend.l1i_misses >= big.frontend.l1i_misses * 0.5
+
+    def test_ubs_holds_more_blocks(self, pressure):
+        _, base = run(pressure, "conv32")
+        _, ubs = run(pressure, "ubs")
+        assert ubs.extra["block_count"] > 1.3 * base.extra["block_count"]
+
+    def test_ubs_more_storage_efficient(self, pressure):
+        _, base = run(pressure, "conv32")
+        _, ubs = run(pressure, "ubs")
+        assert ubs.efficiency.mean > base.efficiency.mean + 0.1
+
+
+class TestFDIP:
+    def test_prefetching_reduces_stalls(self, pressure):
+        machine, result = run(pressure, "conv32")
+        assert result.frontend.prefetches_issued > 0
+        # Late-join misses exist, but plenty of prefetches land in time:
+        # demand misses are far fewer than prefetches issued.
+        assert result.frontend.l1i_misses < result.frontend.prefetches_issued * 3
+
+    def test_mshr_bounded(self, pressure):
+        machine, _ = run(pressure, "conv32")
+        assert len(machine.mshr) <= machine.mshr.capacity
+
+
+class TestStallAccounting:
+    def test_stall_categories_disjoint_and_bounded(self, pressure):
+        _, r = run(pressure, "conv32")
+        fe = r.frontend
+        assert fe.fetch_stall_cycles + fe.mispredict_stall_cycles <= r.cycles
+
+    def test_perfect_icache_has_no_fetch_stalls(self, pressure):
+        # A conventional cache big enough for the whole footprint.
+        _, r = run(pressure, "conv192")
+        _, base = run(pressure, "conv32")
+        assert r.frontend.fetch_stall_cycles <= base.frontend.fetch_stall_cycles
+
+
+class TestUBSSpecifics:
+    def test_partial_misses_only_for_ubs(self, pressure):
+        _, conv = run(pressure, "conv32")
+        _, ubs = run(pressure, "ubs")
+        assert conv.frontend.partial_misses == 0
+        assert ubs.frontend.partial_misses >= 0
+
+    def test_predictor_discard_filter_works(self, pressure):
+        machine, _ = run(pressure, "ubs")
+        icache = machine.icache
+        # The weeding mechanism actually fires: some sub-blocks installed,
+        # and predictor evictions happened.
+        assert icache.subblocks_installed > 0
+        assert icache.predictor.evictions > 0
+
+    def test_way_sweep_configs_behave(self, pressure):
+        _, base = run(pressure, "conv32")
+        for config in ("ubs_ways10c1", "ubs_ways18c2"):
+            _, r = run(pressure, config)
+            assert 0.8 < r.speedup_over(base) < 1.3
+
+
+class TestDeterminismAcrossConfigs:
+    def test_same_instruction_stream_all_configs(self, pressure):
+        # Every configuration must consume the identical measured window.
+        for config in ("conv32", "ubs", "small16", "distill32"):
+            _, r = run(pressure, config)
+            assert r.instructions == 55_000

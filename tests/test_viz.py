@@ -1,0 +1,83 @@
+"""Text-visualisation helper tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.viz import bar_chart, cdf_plot, histogram, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"a": 1.0, "bb": 0.5})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "1.000" in lines[0]
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_baseline_mode(self):
+        out = bar_chart({"worse": 0.98, "better": 1.02}, baseline=1.0)
+        assert "0.980" in out and "1.020" in out
+
+    def test_labels_aligned(self):
+        out = bar_chart({"x": 1.0, "longer": 2.0})
+        label_w = len("longer")
+        for line in out.splitlines():
+            assert line[label_w:label_w + 2] == "  "
+
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=8),
+        st.floats(-1e6, 1e6), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_never_crashes(self, values):
+        out = bar_chart(values)
+        assert len(out.splitlines()) == len(values)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    @given(st.lists(st.floats(-100, 100), max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_length_preserved(self, series):
+        assert len(sparkline(series)) == len(series)
+
+
+class TestCdfPlot:
+    def test_shape(self):
+        cdf = [i / 64 for i in range(65)]
+        out = cdf_plot(cdf, width=32, height=4)
+        lines = out.splitlines()
+        assert len(lines) == 6          # 4 rows + axis + label
+        assert "bytes" in lines[-1]
+
+    def test_empty(self):
+        assert cdf_plot([]) == "(no data)"
+
+    def test_step_function(self):
+        cdf = [0.0] * 32 + [1.0] * 33
+        out = cdf_plot(cdf, width=64, height=4)
+        top_row = out.splitlines()[0]
+        # The top threshold is only reached in the right half.
+        filled = top_row.index("█")
+        assert filled > 20
+
+
+class TestHistogram:
+    def test_fractions(self):
+        out = histogram({"a": 3, "b": 1})
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_empty(self):
+        assert histogram({}) == "(no data)"

@@ -1,0 +1,87 @@
+"""Trace file round-trip tests."""
+
+import gzip
+import random
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import MAGIC, read_trace, write_trace
+from repro.trace.record import Instruction, InstrKind
+
+
+def _random_trace(n, seed=0):
+    rng = random.Random(seed)
+    out = []
+    pc = 0x400000
+    for _ in range(n):
+        kind = rng.choice(list(InstrKind))
+        size = rng.choice((2, 4, 8, 15))
+        taken = kind in (InstrKind.JUMP, InstrKind.CALL, InstrKind.RET)
+        ins = Instruction(pc, size, kind, taken=taken,
+                          target=rng.randrange(1 << 40) if taken else 0,
+                          src1=rng.randrange(-1, 32),
+                          src2=rng.randrange(-1, 32),
+                          dst=rng.randrange(-1, 32),
+                          mem_addr=rng.randrange(1 << 40)
+                          if kind in (InstrKind.LOAD, InstrKind.STORE) else 0)
+        out.append(ins)
+        pc = ins.next_pc
+    return out
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, tmp_path):
+        trace = _random_trace(500)
+        path = tmp_path / "t.trace"
+        assert write_trace(path, trace) == 500
+        assert read_trace(path) == trace
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = _random_trace(200, seed=1)
+        path = tmp_path / "t.trace.gz"
+        write_trace(path, trace)
+        assert path.exists()
+        # really gzip-compressed on disk
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        assert read_trace(path) == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        write_trace(path, [])
+        assert read_trace(path) == []
+
+    def test_field_fidelity(self, tmp_path):
+        ins = Instruction(0xDEADBEEF, 15, InstrKind.CALL_IND, taken=True,
+                          target=0xCAFEBABE, src1=31, src2=-1, dst=0,
+                          mem_addr=0)
+        path = tmp_path / "one.trace"
+        write_trace(path, [ins])
+        (out,) = read_trace(path)
+        assert out.pc == 0xDEADBEEF
+        assert out.kind is InstrKind.CALL_IND
+        assert out.taken is True
+        assert out.target == 0xCAFEBABE
+        assert out.src1 == 31 and out.src2 == -1 and out.dst == 0
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 16)
+        with pytest.raises(TraceError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_payload(self, tmp_path):
+        trace = _random_trace(10)
+        path = tmp_path / "t.trace"
+        write_trace(path, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+    def test_magic_constant_is_stable(self):
+        # On-disk format compatibility: changing this breaks old caches.
+        assert MAGIC == b"REPROTR1"

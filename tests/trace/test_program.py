@@ -1,0 +1,110 @@
+"""Static program model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.program import (
+    BasicBlock,
+    FUNCTION_ALIGN,
+    Function,
+    Program,
+    TermKind,
+)
+from repro.trace.record import InstrKind
+
+
+def _block(index, n=3, term=TermKind.FALL, **kw):
+    kinds = [InstrKind.ALU] * n
+    terminator = {
+        TermKind.COND: InstrKind.BR_COND,
+        TermKind.LOOP: InstrKind.BR_COND,
+        TermKind.JUMP: InstrKind.JUMP,
+        TermKind.CALL: InstrKind.CALL,
+        TermKind.ICALL: InstrKind.CALL_IND,
+        TermKind.RET: InstrKind.RET,
+    }.get(term)
+    if terminator is not None:
+        kinds[-1] = terminator
+    return BasicBlock(index, [4] * n, kinds, term, **kw)
+
+
+class TestBasicBlock:
+    def test_size_and_offsets(self):
+        b = _block(0, n=4)
+        assert b.size == 16
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(0, [], [], TermKind.FALL)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(0, [4, 4], [InstrKind.ALU], TermKind.FALL)
+
+    def test_rejects_wrong_terminator_kind(self):
+        with pytest.raises(ConfigurationError, match="terminator"):
+            BasicBlock(0, [4], [InstrKind.ALU], TermKind.RET)
+
+
+class TestFunctionValidation:
+    def test_dangling_successor_rejected(self):
+        blocks = [_block(0, term=TermKind.JUMP, taken_succ=5)]
+        fn = Function(0, blocks)
+        with pytest.raises(ConfigurationError, match="references block"):
+            fn.validate()
+
+    def test_cond_requires_taken_successor(self):
+        blocks = [_block(0, term=TermKind.COND, fall_succ=0)]
+        with pytest.raises(ConfigurationError, match="taken successor"):
+            Function(0, blocks).validate()
+
+    def test_fall_requires_fall_successor(self):
+        blocks = [_block(0, term=TermKind.FALL)]
+        with pytest.raises(ConfigurationError, match="fall-through"):
+            Function(0, blocks).validate()
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Function(0, [])
+
+
+class TestLayout:
+    def _program(self):
+        fn0 = Function(0, [
+            _block(0, n=3, term=TermKind.FALL, fall_succ=1),
+            _block(1, n=2, term=TermKind.RET),
+        ])
+        fn1 = Function(1, [_block(0, n=5, term=TermKind.RET)])
+        return Program([fn0, fn1])
+
+    def test_functions_are_aligned(self):
+        program = self._program()
+        for fn in program.functions:
+            assert fn.addr % FUNCTION_ALIGN == 0
+
+    def test_blocks_are_contiguous_within_function(self):
+        program = self._program()
+        for fn in program.functions:
+            for prev, cur in zip(fn.blocks, fn.blocks[1:]):
+                assert cur.addr == prev.end_addr
+
+    def test_instr_offsets_cumulative(self):
+        program = self._program()
+        block = program.functions[0].blocks[0]
+        assert block.instr_offsets == (0, 4, 8)
+
+    def test_functions_do_not_overlap(self):
+        program = self._program()
+        fn0, fn1 = program.functions
+        assert fn1.addr >= fn0.blocks[-1].end_addr
+
+    def test_code_size_positive(self):
+        assert self._program().code_size > 0
+
+    def test_block_at(self):
+        program = self._program()
+        assert program.block_at(1, 0) is program.functions[1].blocks[0]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Program([])

@@ -1,0 +1,101 @@
+"""Unit tests for instruction records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import (
+    EXEC_LATENCY,
+    Instruction,
+    InstrKind,
+    is_branch_kind,
+    is_memory_kind,
+    validate_trace,
+)
+
+
+class TestInstrKind:
+    def test_branch_kinds(self):
+        branches = {InstrKind.BR_COND, InstrKind.JUMP, InstrKind.CALL,
+                    InstrKind.RET, InstrKind.BR_IND, InstrKind.CALL_IND}
+        for kind in InstrKind:
+            assert is_branch_kind(kind) == (kind in branches)
+
+    def test_memory_kinds(self):
+        for kind in InstrKind:
+            expected = kind in (InstrKind.LOAD, InstrKind.STORE)
+            assert is_memory_kind(kind) == expected
+
+    def test_every_kind_has_latency(self):
+        for kind in InstrKind:
+            assert kind in EXEC_LATENCY
+            assert EXEC_LATENCY[kind] >= 0
+
+
+class TestInstruction:
+    def test_next_pc_sequential(self):
+        ins = Instruction(0x1000, 4, InstrKind.ALU)
+        assert ins.next_pc == 0x1004
+
+    def test_next_pc_taken_branch(self):
+        ins = Instruction(0x1000, 4, InstrKind.BR_COND,
+                          taken=True, target=0x2000)
+        assert ins.next_pc == 0x2000
+
+    def test_next_pc_not_taken_branch(self):
+        ins = Instruction(0x1000, 4, InstrKind.BR_COND,
+                          taken=False, target=0x2000)
+        assert ins.next_pc == 0x1004
+
+    def test_is_branch_property(self):
+        assert Instruction(0, 4, InstrKind.RET, taken=True,
+                           target=8).is_branch
+        assert not Instruction(0, 4, InstrKind.ALU).is_branch
+
+    def test_is_memory_property(self):
+        assert Instruction(0, 4, InstrKind.LOAD, mem_addr=64).is_memory
+        assert not Instruction(0, 4, InstrKind.NOP).is_memory
+
+    def test_equality_and_hash(self):
+        a = Instruction(0x10, 4, InstrKind.ALU, src1=1, dst=2)
+        b = Instruction(0x10, 4, InstrKind.ALU, src1=1, dst=2)
+        c = Instruction(0x10, 4, InstrKind.ALU, src1=3, dst=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an instruction"
+
+    def test_variable_size(self):
+        ins = Instruction(0x100, 7, InstrKind.MUL)
+        assert ins.next_pc == 0x107
+
+    def test_repr_contains_pc(self):
+        assert "0x40" in repr(Instruction(0x40, 4, InstrKind.ALU))
+
+
+class TestValidateTrace:
+    def test_accepts_contiguous(self):
+        trace = [
+            Instruction(0, 4, InstrKind.ALU),
+            Instruction(4, 4, InstrKind.JUMP, taken=True, target=100),
+            Instruction(100, 4, InstrKind.ALU),
+        ]
+        assert validate_trace(trace) == trace
+
+    def test_rejects_discontinuity(self):
+        trace = [
+            Instruction(0, 4, InstrKind.ALU),
+            Instruction(12, 4, InstrKind.ALU),
+        ]
+        with pytest.raises(TraceError, match="discontinuity"):
+            validate_trace(trace)
+
+    def test_rejects_missed_branch_target(self):
+        trace = [
+            Instruction(0, 4, InstrKind.JUMP, taken=True, target=64),
+            Instruction(4, 4, InstrKind.ALU),
+        ]
+        with pytest.raises(TraceError):
+            validate_trace(trace)
+
+    def test_empty_trace_is_fine(self):
+        assert validate_trace([]) == []

@@ -1,0 +1,70 @@
+"""Calibration harness for the synthetic workload generator.
+
+Runs candidate specs against the baseline / 64KB / UBS caches and prints
+the shape metrics the paper's figures depend on. Used during development;
+not part of the published benchmarks.
+
+Usage: python tools/calibrate.py [family ...]
+"""
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.cpu.machine import Machine, build_icache
+from repro.trace.synthesis import ProgramBuilder, TraceWalker
+
+
+def run(spec, config, warmup=50_000, measure=150_000):
+    program = ProgramBuilder(spec).build()
+    trace = TraceWalker(program, spec).run(warmup + measure)
+    icache = build_icache(config)
+    if config == "conv32":
+        icache.track_touch_distance = True
+    machine = Machine(trace, icache)
+    result = machine.run(warmup, measure)
+    result.workload = spec.name
+    result.config = config
+    return result, machine, program
+
+
+def describe(spec, label=""):
+    t0 = time.time()
+    base, mbase, program = run(spec, "conv32")
+    big, _, _ = run(spec, "conv64")
+    ubs, mubs, _ = run(spec, "ubs")
+    cold_bytes = sum(b.size for fn in program.functions for b in fn.blocks
+                     if b.is_cold)
+    hist = mbase.icache.byte_usage
+    cdf = hist.cdf()
+    print(f"== {spec.name} {label}  code={program.code_size/1024:.0f}KB "
+          f"cold={cold_bytes / max(1, program.code_size):.2f} "
+          f"({time.time()-t0:.0f}s)")
+    print(f"  conv32: IPC {base.ipc:.2f} MPKI {base.l1i_mpki:5.1f} "
+          f"stall {base.frontend.fetch_stall_cycles/base.cycles:5.1%} "
+          f"mp {base.frontend.mispredict_stall_cycles/base.cycles:5.1%} "
+          f"eff {base.efficiency.mean:.2f}")
+    print(f"  byteCDF: <=8B {cdf[8]:.2f} <=16B {cdf[16]:.2f} "
+          f"<=32B {cdf[32]:.2f} >=60B {1-cdf[59]:.2f} =64B "
+          f"{hist.counts[64]/max(1,hist.evictions):.2f}")
+    print(f"  conv64: speedup {big.ipc/base.ipc:5.3f} "
+          f"cov {big.stall_coverage_over(base):5.1%} MPKI {big.l1i_mpki:5.1f}")
+    print(f"  ubs:    speedup {ubs.ipc/base.ipc:5.3f} "
+          f"cov {ubs.stall_coverage_over(base):5.1%} MPKI {ubs.l1i_mpki:5.1f} "
+          f"eff {ubs.efficiency.mean:.2f} partial "
+          f"{(ubs.frontend.partial_misses)/max(1,ubs.frontend.l1i_misses):.2f} "
+          f"blocks {ubs.extra['block_count']}")
+
+
+if __name__ == "__main__":
+    from repro.trace.workloads import (_server_spec, _client_spec,
+                                       _spec_spec, _google_spec)
+    fams = sys.argv[1:] or ["server"]
+    if "server" in fams:
+        describe(_server_spec(1))
+    if "client" in fams:
+        describe(_client_spec(1))
+    if "spec" in fams:
+        describe(_spec_spec(1))
+    if "google" in fams:
+        describe(_google_spec(1))
