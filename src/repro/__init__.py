@@ -40,6 +40,13 @@ from .memory import (
 )
 from .cpu import Machine, build_icache
 from .stats import SimResult
+from .telemetry import (
+    EventTrace,
+    MetricsRegistry,
+    StageProfiler,
+    StallAccounting,
+    Telemetry,
+)
 from .trace import Workload, get_workload, suite, workload_names
 
 __version__ = "1.0.0"
@@ -51,15 +58,20 @@ __all__ = [
     "CoreParams",
     "DEFAULT_UBS_WAY_SIZES",
     "DistillationICache",
+    "EventTrace",
     "InstructionCacheBase",
     "Machine",
     "MachineParams",
     "MemoryHierarchy",
+    "MetricsRegistry",
     "PredictorConfig",
     "ReproError",
     "SimResult",
     "SimulationError",
     "SmallBlockICache",
+    "StageProfiler",
+    "StallAccounting",
+    "Telemetry",
     "TraceError",
     "UBSICache",
     "UBSParams",
@@ -79,19 +91,22 @@ __all__ = [
 
 def simulate(workload: Union[str, Workload], config: str = "conv32", *,
              params: Optional[MachineParams] = None,
-             sample_efficiency: bool = True) -> SimResult:
+             sample_efficiency: bool = True,
+             telemetry: Optional[Telemetry] = None) -> SimResult:
     """Run one workload against one L1-I configuration.
 
     ``workload`` is a suite name (e.g. ``"server_003"``) or a
     :class:`~repro.trace.workloads.Workload`; ``config`` is a configuration
     name understood by :func:`~repro.cpu.machine.build_icache`.
+    ``telemetry`` optionally attaches an event recorder and/or stage
+    profiler (see :mod:`repro.telemetry`).
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
     trace = workload.generate()
     warmup, measure = workload.windows()
     icache = build_icache(config)
-    machine = Machine(trace, icache, params)
+    machine = Machine(trace, icache, params, telemetry=telemetry)
     result = machine.run(warmup, measure, sample_efficiency=sample_efficiency)
     result.workload = workload.name
     result.config = config

@@ -162,5 +162,12 @@ class UsefulnessPredictor:
             used += mask.bit_count()
         return used, stored
 
+    def register_metrics(self, registry,
+                         prefix: str = "predictor") -> None:
+        """Register hit/eviction/content gauges under ``prefix``."""
+        registry.gauge(f"{prefix}.hits", lambda: self.hits)
+        registry.gauge(f"{prefix}.evictions", lambda: self.evictions)
+        registry.gauge(f"{prefix}.blocks", self.block_count)
+
     def block_count(self) -> int:
         return sum(1 for _ in self.entries())

@@ -33,6 +33,7 @@ from ..errors import SimulationError
 from ..memory.icache import InstructionCacheBase, LookupResult, MissKind
 from ..memory.replacement import LRUPolicy
 from ..params import TRANSFER_BLOCK, UBSParams
+from ..telemetry.events import PREDICTOR
 from .predictor import PredictorConfig, UsefulnessPredictor
 from .subblock import extract_runs, mask_of_run
 
@@ -168,6 +169,9 @@ class UBSICache(InstructionCacheBase):
             if pending:
                 self.predictor.mark_bits(block, pending)
             return
+        if self.telemetry.enabled:
+            self.telemetry.emit(PREDICTOR, self.now, op="insert",
+                                block=block_addr)
         # A prefetch may land while sub-blocks of the block are resident
         # (the prefetch was issued for a missing range). Treat it like the
         # partial-miss flow: absorb and invalidate the resident sub-blocks.
@@ -197,6 +201,9 @@ class UBSICache(InstructionCacheBase):
         """Move a predictor victim's accessed runs into the ways."""
         if mask == 0:
             self.blocks_discarded += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(PREDICTOR, self.now, op="discard",
+                                    block=block << 6)
             return
         set_idx = block & self._index_mask
         granularity = self.granularity
@@ -247,6 +254,10 @@ class UBSICache(InstructionCacheBase):
             self._reused[set_idx][way] = False
             self.policy.on_fill(set_idx, way, block << 6)
             self.subblocks_installed += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(PREDICTOR, self.now, op="install",
+                                    block=block << 6, run_start=run_start,
+                                    run_len=run_len, way_size=size)
             installed.append((start, span_end, way))
 
     # -- probes / snapshots -------------------------------------------------------
@@ -288,6 +299,22 @@ class UBSICache(InstructionCacheBase):
     def partial_misses(self) -> int:
         return (self.partial_missing + self.partial_overrun
                 + self.partial_underrun)
+
+    def register_metrics(self, registry, prefix: str = "l1i") -> None:
+        super().register_metrics(registry, prefix)
+        registry.gauge(f"{prefix}.partial_missing",
+                       lambda: self.partial_missing)
+        registry.gauge(f"{prefix}.partial_overrun",
+                       lambda: self.partial_overrun)
+        registry.gauge(f"{prefix}.partial_underrun",
+                       lambda: self.partial_underrun)
+        registry.gauge(f"{prefix}.way_evictions",
+                       lambda: self.way_evictions)
+        registry.gauge(f"{prefix}.subblocks_installed",
+                       lambda: self.subblocks_installed)
+        registry.gauge(f"{prefix}.blocks_discarded",
+                       lambda: self.blocks_discarded)
+        self.predictor.register_metrics(registry, f"{prefix}.predictor")
 
     def reset_stats(self) -> None:
         super().reset_stats()

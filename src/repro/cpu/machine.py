@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from dataclasses import fields as _dataclass_fields
+from time import perf_counter
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, SimulationError
@@ -35,6 +37,17 @@ from ..memory.small_block import SmallBlockICache
 from ..params import MachineParams, UBSParams, conventional_l1i
 from ..stats.counters import FrontEndStats, SimResult
 from ..stats.efficiency import EfficiencySampler
+from ..telemetry import (
+    FTQ as EV_FTQ,
+    L1I as EV_L1I,
+    MSHR as EV_MSHR,
+    NULL_TELEMETRY,
+    RUN_SUMMARY,
+    STALL as EV_STALL,
+    Telemetry,
+)
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.profiler import ProfileReport
 from ..trace.record import Instruction
 from ..core.configs import ubs_params_for_budget, way_config
 from ..core.predictor import PredictorConfig
@@ -44,13 +57,24 @@ _STALL_MISS = 1
 _STALL_RESTEER = 2
 _STALL_BACKEND = 3
 
+#: Event-trace cause names for the ``_STALL_*`` codes.
+_STALL_NAMES = {
+    _STALL_MISS: "miss",
+    _STALL_RESTEER: "resteer",
+    _STALL_BACKEND: "backend",
+}
+
+#: Cycle mask between FTQ/MSHR occupancy samples when tracing.
+_FTQ_SAMPLE_MASK = 255
+
 
 class Machine:
     """One simulated core with a configurable L1-I organisation."""
 
     def __init__(self, trace: Sequence[Instruction],
                  icache: InstructionCacheBase,
-                 params: Optional[MachineParams] = None) -> None:
+                 params: Optional[MachineParams] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if not trace:
             raise ConfigurationError("empty trace")
         self.trace = trace
@@ -64,6 +88,15 @@ class Machine:
         from .backend import Backend
         self.backend = Backend(self.params.core, self.hierarchy)
 
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        recorder = self.telemetry.recorder
+        # Hot paths test ``self._rec is not None`` — with the default null
+        # recorder nothing is ever constructed or emitted.
+        self._rec = recorder if recorder.enabled else None
+        if self._rec is not None:
+            icache.telemetry = recorder
+            self.hierarchy.dram.telemetry = recorder
+
         self._fills: List[Tuple[int, int]] = []     # (cycle, block_addr)
         self._fdip_queue: Deque[FetchRange] = deque()
         self._prefetcher = self.params.core.prefetcher
@@ -71,12 +104,53 @@ class Machine:
         self.cycle = 0
         self.delivered = 0
         self._last_commit = 0
+        self._stall_pc = 0
+        self.wall_seconds = 0.0
+
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Expose every component's counters under stable dotted names.
+
+        All registrations are pull-style gauges reading live attributes,
+        so the simulator hot paths carry no metrics bookkeeping; call
+        ``self.metrics.snapshot()`` at any point for a consistent view.
+        """
+        reg = self.metrics
+        reg.gauge("machine.cycles", lambda: self.cycle)
+        reg.gauge("machine.instructions_delivered", lambda: self.delivered)
+        stats = self.stats
+        for f in _dataclass_fields(FrontEndStats):
+            reg.gauge(f"frontend.{f.name}",
+                      lambda name=f.name: getattr(stats, name))
+        self.ftq.register_metrics(reg)
+        reg.gauge("mshr.allocations", lambda: self.mshr.allocations)
+        reg.gauge("mshr.merges", lambda: self.mshr.merges)
+        reg.gauge("mshr.occupancy", lambda: len(self.mshr))
+        reg.gauge("bpu.cond_lookups", lambda: self.bpu.cond_lookups)
+        reg.gauge("bpu.mispredicts", lambda: self.bpu.mispredicts)
+        self.icache.register_metrics(reg)
+        self.hierarchy.register_metrics(reg)
+
+    def profile_report(self) -> Optional[ProfileReport]:
+        """The attached profiler's report (None when not profiling)."""
+        prof = self.telemetry.profiler
+        if prof is None:
+            return None
+        return prof.report(cycles=self.cycle, instructions=self.delivered)
 
     # -- per-cycle stages ---------------------------------------------------------
 
     def _process_fills(self) -> None:
         fills = self._fills
         cycle = self.cycle
+        if self._rec is not None and fills and fills[0][0] <= cycle:
+            # Let the cache stamp predictor train/install events with the
+            # fill cycle (fill() itself has no cycle argument).
+            self.icache.now = cycle
         while fills and fills[0][0] <= cycle:
             _, block_addr = heapq.heappop(fills)
             self.icache.fill(block_addr)
@@ -119,6 +193,9 @@ class Machine:
             mshr.allocate(block_addr, fill_at, cycle)
             heapq.heappush(self._fills, (fill_at, block_addr))
             self.stats.prefetches_issued += 1
+            if self._rec is not None:
+                self._rec.emit(EV_MSHR, cycle, block=block_addr,
+                               fill=fill_at, source="fdip")
             queue.popleft()
             issued += 1
 
@@ -143,6 +220,20 @@ class Machine:
         icache = self.icache
         stats = self.stats
         icache.recording = False
+
+        rec = self._rec
+        rec_hits = rec is not None and rec.record_hits
+        prof = self.telemetry.profiler
+        if prof is not None:
+            # Instance-attribute wrapping: only profiled machines pay the
+            # per-call perf_counter cost.
+            self._process_fills = prof.wrap("fills", self._process_fills)
+            self._run_bpu = prof.wrap("bpu", self._run_bpu)
+            self._run_fdip = prof.wrap("fdip", self._run_fdip)
+            icache.lookup = prof.wrap("fetch", icache.lookup)
+            self.backend.accept = prof.wrap("backend", self.backend.accept)
+            prof.start()
+        wall_start = perf_counter()
 
         # Fetch state.
         cur: Optional[FetchRange] = None
@@ -169,6 +260,10 @@ class Machine:
             self._run_bpu()
             self._run_fdip()
 
+            if rec is not None and (cycle & _FTQ_SAMPLE_MASK) == 0:
+                rec.emit(EV_FTQ, cycle, occupancy=len(self.ftq),
+                         mshr=len(self.mshr))
+
             if cycle < blocked_until:
                 self._account_stall(blocked_kind, 1, measuring)
                 self._maybe_skip(blocked_until, blocked_kind, measuring)
@@ -194,6 +289,7 @@ class Machine:
             if not self.backend.rob_has_space(cycle):
                 blocked_until = max(cycle + 1, self.backend.rob_free_cycle())
                 blocked_kind = _STALL_BACKEND
+                self._stall_pc = cur_byte
                 self.cycle += 1
                 continue
 
@@ -212,11 +308,18 @@ class Machine:
 
             result = icache.lookup(cur_byte, chunk_end - cur_byte)
             if not result.hit:
+                self._stall_pc = cur_byte
+                if rec is not None:
+                    rec.emit(EV_L1I, cycle, result=result.kind.name,
+                             pc=cur_byte, nbytes=chunk_end - cur_byte)
                 blocked_until = self._handle_miss(result.block_addr)
                 blocked_kind = _STALL_MISS
                 self._account_stall(_STALL_MISS, 1, measuring)
                 self.cycle += 1
                 continue
+            if rec_hits:
+                rec.emit(EV_L1I, cycle, result="HIT", pc=cur_byte,
+                         nbytes=chunk_end - cur_byte)
 
             # Deliver the completed instructions to the back-end.
             last_complete = 0
@@ -253,12 +356,18 @@ class Machine:
                     pending_resteer = (resume, int(cur.resteer))
                     blocked_until = resume
                     blocked_kind = _STALL_RESTEER
+                    # Attribute the resteer stall to the causing branch.
+                    self._stall_pc = trace[cur.first_index
+                                           + len(ends) - 1].pc
                 cur = None
 
             if measuring and sample_efficiency:
                 sampler.maybe_sample(icache, cycle)
             self.cycle += 1
 
+        if prof is not None:
+            prof.stop()
+        self.wall_seconds = perf_counter() - wall_start
         return self._finish(warmup_commit, warmup_snapshot, measure,
                             sampler if sample_efficiency else None)
 
@@ -280,6 +389,9 @@ class Machine:
         fill_at = cycle + latency
         mshr.allocate(block_addr, fill_at, cycle)
         heapq.heappush(self._fills, (fill_at, block_addr))
+        if self._rec is not None:
+            self._rec.emit(EV_MSHR, cycle, block=block_addr, fill=fill_at,
+                           source="demand")
         if self._prefetcher == "nextline":
             self._issue_next_lines(block_addr, cycle)
         return fill_at
@@ -299,6 +411,9 @@ class Machine:
             mshr.allocate(addr, fill_at, cycle)
             heapq.heappush(self._fills, (fill_at, addr))
             self.stats.prefetches_issued += 1
+            if self._rec is not None:
+                self._rec.emit(EV_MSHR, cycle, block=addr, fill=fill_at,
+                               source="nextline")
 
     def _account_stall(self, kind: int, cycles: int, measuring: bool) -> None:
         if not measuring or not cycles:
@@ -307,6 +422,10 @@ class Machine:
             self.stats.fetch_stall_cycles += cycles
         elif kind == _STALL_RESTEER:
             self.stats.mispredict_stall_cycles += cycles
+        if self._rec is not None:
+            self._rec.emit(EV_STALL, self.cycle,
+                           cause=_STALL_NAMES.get(kind, "unknown"),
+                           cycles=cycles, pc=self._stall_pc)
 
     def _maybe_skip(self, blocked_until: int, kind: int,
                     measuring: bool) -> None:
@@ -353,6 +472,18 @@ class Machine:
             stats.l1i_partial_overrun = icache.partial_overrun
             stats.l1i_partial_underrun = icache.partial_underrun
         cycles = max(1, self._last_commit - warmup_commit)
+        if self._rec is not None:
+            self._rec.emit(
+                RUN_SUMMARY, self.cycle,
+                cycles=cycles, instructions=measure,
+                fetch_stall_cycles=stats.fetch_stall_cycles,
+                mispredict_stall_cycles=stats.mispredict_stall_cycles,
+                l1i_hits=stats.l1i_hits, l1i_misses=stats.l1i_misses,
+                partial_misses=stats.partial_misses,
+                branch_mispredicts=stats.branch_mispredicts,
+                btb_resteers=stats.btb_resteers,
+                prefetches_issued=stats.prefetches_issued,
+            )
         extra = {
             "block_count": icache.block_count(),
             "prefetches": stats.prefetches_issued - snapshot["prefetches"],

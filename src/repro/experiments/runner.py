@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cpu.machine import Machine, build_icache
@@ -101,9 +102,17 @@ def _simulate(workload: Workload, config: str,
     if analysis:
         icache.track_touch_distance = True
     machine = Machine(trace, icache)
+    t0 = perf_counter()
     result = machine.run(warmup, measure)
+    wall = perf_counter() - t0
     result.workload = workload.name
     result.config = config
+    # Simulator throughput for the host-performance baseline: every
+    # benchmark JSON records how fast this run simulated.
+    result.extra["sim_wall_seconds"] = round(wall, 6)
+    if wall > 0:
+        result.extra["sim_cycles_per_sec"] = round(result.cycles / wall)
+        result.extra["sim_instrs_per_sec"] = round(measure / wall)
     if analysis:
         # End-of-run flush so low-MPKI workloads (whose blocks are never
         # evicted) still contribute lifetime byte-usage counts.

@@ -142,6 +142,15 @@ class FetchTargetQueue:
     def empty(self) -> bool:
         return not self._queue
 
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def register_metrics(self, registry, prefix: str = "ftq") -> None:
+        """Register occupancy/capacity gauges under ``prefix``."""
+        registry.gauge(f"{prefix}.occupancy", lambda: len(self._queue))
+        registry.gauge(f"{prefix}.capacity", lambda: self.capacity)
+
     def push(self, fetch_range: FetchRange) -> None:
         if self.full:
             raise SimulationError("FTQ overflow")

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..params import DramParams
+from ..telemetry.events import DRAM_ROW, NULL_RECORDER
 
 
 class DRAM:
@@ -23,6 +24,7 @@ class DRAM:
         self.row_misses = 0
         # The channel is busy until this cycle; requests serialise on it.
         self._channel_free = 0
+        self.telemetry = NULL_RECORDER
 
     def _bank_and_row(self, addr: int) -> tuple:
         p = self.params
@@ -37,19 +39,30 @@ class DRAM:
         bank, row = self._bank_and_row(addr)
         if self._open_rows[bank] == row:
             self.row_hits += 1
+            hit = True
             service = p.row_hit_latency
         else:
             self.row_misses += 1
+            hit = False
             service = p.row_miss_latency
             self._open_rows[bank] = row
         start = max(cycle, self._channel_free)
         # The data bus is occupied for the burst; subsequent requests queue.
         self._channel_free = start + p.bus_cycles
+        if self.telemetry.enabled:
+            self.telemetry.emit(DRAM_ROW, cycle, hit=hit, bank=bank,
+                                queued=start - cycle)
         return (start - cycle) + service
 
     @property
     def accesses(self) -> int:
         return self.row_hits + self.row_misses
+
+    def register_metrics(self, registry, prefix: str = "dram") -> None:
+        """Register row-buffer and channel counters as pull gauges."""
+        registry.gauge(f"{prefix}.row_hits", lambda: self.row_hits)
+        registry.gauge(f"{prefix}.row_misses", lambda: self.row_misses)
+        registry.gauge(f"{prefix}.accesses", lambda: self.accesses)
 
     def reset_stats(self) -> None:
         self.row_hits = 0

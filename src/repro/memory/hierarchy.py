@@ -83,6 +83,16 @@ class MemoryHierarchy:
         self._below_l1(addr, cycle)
         self.l1d.fill(addr)
 
+    def register_metrics(self, registry) -> None:
+        """Register every shared level's counters into ``registry``."""
+        for name, cache in (("l1d", self.l1d), ("l2", self.l2),
+                            ("l3", self.l3)):
+            registry.gauge(f"{name}.hits", lambda c=cache: c.hits)
+            registry.gauge(f"{name}.misses", lambda c=cache: c.misses)
+        self.dram.register_metrics(registry)
+        registry.gauge("hierarchy.instr_fetches",
+                       lambda: self.instr_fetches)
+
     def reset_stats(self) -> None:
         for cache in (self.l1d, self.l2, self.l3):
             cache.reset_stats()

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 from ..errors import ConfigurationError, SimulationError
 from ..params import CacheParams, TRANSFER_BLOCK
 from ..stats.histograms import ByteUsageHistogram, TouchDistanceStats
+from ..telemetry.events import NULL_RECORDER
 from .replacement import ReplacementPolicy, make_policy
 
 
@@ -62,6 +63,10 @@ class InstructionCacheBase:
         self.recording = True
         self.byte_usage = ByteUsageHistogram()
         self.touch_distance = TouchDistanceStats()
+        # Event recorder attached by the machine when tracing is on, and
+        # the fill-time cycle stamp it maintains for fill-side events.
+        self.telemetry = NULL_RECORDER
+        self.now = 0
 
     # -- interface -------------------------------------------------------------
 
@@ -97,6 +102,13 @@ class InstructionCacheBase:
             chunk = min(end, boundary) - addr
             yield addr, chunk
             addr += chunk
+
+    def register_metrics(self, registry, prefix: str = "l1i") -> None:
+        """Register hit/miss/content gauges under ``prefix``."""
+        registry.gauge(f"{prefix}.hits", lambda: self.hits)
+        registry.gauge(f"{prefix}.misses", lambda: self.misses)
+        registry.gauge(f"{prefix}.accesses", lambda: self.accesses)
+        registry.gauge(f"{prefix}.blocks", self.block_count)
 
     def reset_stats(self) -> None:
         self.hits = 0

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
 from typing import Any, Dict, Optional
 
 from .efficiency import EfficiencySummary
+
+#: Serialisation schema of :meth:`SimResult.to_dict`. Bump on layout
+#: changes; :meth:`SimResult.from_dict` tolerates unknown keys in either
+#: direction so cached results survive schema evolution.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -77,6 +82,7 @@ class SimResult:
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
+            "schema_version": SCHEMA_VERSION,
             "workload": self.workload,
             "config": self.config,
             "instructions": self.instructions,
@@ -89,13 +95,26 @@ class SimResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys — top-level or inside ``frontend``/``efficiency`` —
+        are ignored, so results cached by a newer schema (or by this one
+        before a field was removed) still load.
+        """
+        frontend = _filtered(FrontEndStats, data["frontend"])
         eff = data.get("efficiency")
         return cls(
             workload=data["workload"],
             config=data["config"],
             instructions=data["instructions"],
             cycles=data["cycles"],
-            frontend=FrontEndStats(**data["frontend"]),
-            efficiency=EfficiencySummary(**eff) if eff else None,
+            frontend=frontend,
+            efficiency=_filtered(EfficiencySummary, eff) if eff else None,
             extra=dict(data.get("extra", {})),
         )
+
+
+def _filtered(cls, data: Dict[str, Any]):
+    """Construct a dataclass from ``data``, dropping unknown keys."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})

@@ -1,0 +1,66 @@
+"""Event-trace serialisation: JSON Lines and CSV.
+
+JSONL is the primary interchange format (one event per line, flat
+``kind``/``cycle`` + fields records) and round-trips losslessly through
+:func:`write_jsonl` / :func:`read_jsonl`. CSV flattens the union of all
+field names into columns for spreadsheet-style analysis; values absent
+from an event are left empty.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .events import Event
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(events: Iterable[Event], path: PathLike) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_record(), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Event]:
+    """Stream events back from a JSONL trace file."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            yield Event.from_record(json.loads(line))
+
+
+def read_jsonl(path: PathLike) -> List[Event]:
+    """Load a whole JSONL trace into memory."""
+    return list(iter_jsonl(path))
+
+
+def write_csv(events: Iterable[Event], path: PathLike) -> int:
+    """Write events as CSV with the union of field names as columns."""
+    events = list(events)
+    field_names: List[str] = []
+    seen = set()
+    for event in events:
+        for name in event.fields:
+            if name not in seen:
+                seen.add(name)
+                field_names.append(name)
+    header = ["kind", "cycle"] + field_names
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for event in events:
+            row = [event.kind, event.cycle]
+            row.extend(event.fields.get(name, "") for name in field_names)
+            writer.writerow(row)
+    return len(events)

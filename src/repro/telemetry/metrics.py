@@ -1,0 +1,189 @@
+"""Named metrics: counters, gauges and histograms in a registry.
+
+The simulator's components register their observable state into one
+:class:`MetricsRegistry` per :class:`~repro.cpu.machine.Machine`, giving
+every counter a stable dotted name (``l1i.misses``, ``dram.row_hits``,
+``frontend.fetch_stall_cycles``, ...) instead of ad-hoc entries scattered
+across ``SimResult.extra`` dicts.
+
+Two usage styles:
+
+* **push** — create a :class:`Counter`/:class:`Histogram` and update it
+  from the component's code;
+* **pull** — register a :class:`Gauge` with a ``source`` callable; the
+  value is read lazily at :meth:`MetricsRegistry.snapshot` time, which
+  keeps simulator hot paths untouched (the style all built-in components
+  use).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+
+
+class Metric:
+    """Base class: a named observable value."""
+
+    kind = "metric"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def value(self) -> Any:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonic push-style counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+
+class Gauge(Metric):
+    """Point-in-time value, either set directly or pulled from ``source``."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str,
+                 source: Optional[Callable[[], Any]] = None) -> None:
+        super().__init__(name)
+        self._source = source
+        self._value: Any = 0
+
+    def set(self, value: Any) -> None:
+        if self._source is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is source-backed; cannot set")
+        self._value = value
+
+    def value(self) -> Any:
+        if self._source is not None:
+            return self._source()
+        return self._value
+
+
+class Histogram(Metric):
+    """Power-of-two bucketed distribution with count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self._buckets: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = max(0, int(value).bit_length() - 1)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Dict[int, int]:
+        """``{bucket_floor_value: count}`` in ascending order."""
+        return {1 << b: n for b, n in sorted(self._buckets.items())}
+
+    def value(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in self.buckets().items()},
+        }
+
+
+class MetricsRegistry:
+    """Ordered collection of uniquely named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the existing instrument (and raises if it is of
+    a different kind), so components can idempotently re-register.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- creation -----------------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {kind}")
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str,
+              source: Optional[Callable[[], Any]] = None) -> Gauge:
+        existing = self._metrics.get(name)
+        if existing is None:
+            return self._get_or_create(name, lambda: Gauge(name, source),
+                                       "gauge")
+        if existing.kind != "gauge":
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {existing.kind}")
+        if source is not None:
+            existing._source = source
+        return existing
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name), "histogram")
+
+    # -- access -------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Evaluate every metric (pull gauges included) into a flat dict."""
+        return {name: metric.value()
+                for name, metric in self._metrics.items()}

@@ -68,3 +68,35 @@ class TestSerialisation:
         r.efficiency = EfficiencySummary.from_samples([0.4])
         blob = json.dumps(r.to_dict())
         assert SimResult.from_dict(json.loads(blob)).ipc == r.ipc
+
+
+class TestSchemaVersioning:
+    def test_to_dict_carries_schema_version(self):
+        from repro.stats.counters import SCHEMA_VERSION
+        d = result().to_dict()
+        assert d["schema_version"] == SCHEMA_VERSION
+        assert SCHEMA_VERSION >= 2
+
+    def test_from_dict_ignores_unknown_top_level_keys(self):
+        d = result().to_dict()
+        d["schema_version"] = 99
+        d["future_field"] = {"nested": True}
+        back = SimResult.from_dict(d)
+        assert back.cycles == 1000
+        assert not hasattr(back, "future_field")
+
+    def test_from_dict_ignores_unknown_nested_keys(self):
+        r = result()
+        r.efficiency = EfficiencySummary.from_samples([0.5])
+        d = r.to_dict()
+        d["frontend"]["novel_counter"] = 123
+        d["efficiency"]["novel_stat"] = 0.1
+        back = SimResult.from_dict(d)
+        assert back.frontend.fetch_stall_cycles == 100
+        assert back.efficiency.mean == r.efficiency.mean
+
+    def test_from_dict_accepts_v1_payload(self):
+        """A pre-versioning dict (no schema_version) still loads."""
+        d = result().to_dict()
+        d.pop("schema_version")
+        assert SimResult.from_dict(d).cycles == 1000

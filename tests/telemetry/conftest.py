@@ -1,0 +1,33 @@
+"""Shared fixtures: one small recorded simulation per session."""
+
+import pytest
+
+from repro import Machine, build_icache, get_workload
+from repro.telemetry import EventTrace, Telemetry
+
+
+def run_machine(config="ubs", telemetry=None, workload="spec_000",
+                scale_monkeypatch=None):
+    workload = get_workload(workload)
+    trace = workload.generate()
+    warmup, measure = workload.windows()
+    machine = Machine(trace, build_icache(config), telemetry=telemetry)
+    result = machine.run(warmup, measure)
+    return machine, result
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    """(machine, result, recorder) of one traced small UBS run."""
+    import os
+    before = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = "0.03"
+    try:
+        recorder = EventTrace()
+        machine, result = run_machine(telemetry=Telemetry(recorder))
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_SCALE", None)
+        else:
+            os.environ["REPRO_SCALE"] = before
+    return machine, result, recorder

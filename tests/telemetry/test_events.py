@@ -1,0 +1,106 @@
+"""Event model, recorders and JSONL/CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.telemetry import (
+    Event,
+    EventTrace,
+    NULL_RECORDER,
+    NullRecorder,
+    STALL,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+class TestEvent:
+    def test_record_roundtrip(self):
+        e = Event(STALL, 42, cause="miss", cycles=7, pc=0x400010)
+        back = Event.from_record(e.to_record())
+        assert back == e
+        assert back.kind == STALL and back.cycle == 42
+        assert back.fields == {"cause": "miss", "cycles": 7, "pc": 0x400010}
+
+    def test_equality_and_hash(self):
+        a = Event("ftq", 1, occupancy=3)
+        b = Event("ftq", 1, occupancy=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Event("ftq", 2, occupancy=3)
+
+
+class TestRecorders:
+    def test_null_recorder_disabled_and_silent(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.emit("stall", 0, cause="miss", cycles=1)  # no-op
+
+    def test_event_trace_records(self):
+        trace = EventTrace()
+        trace.emit("stall", 5, cause="miss", cycles=2)
+        trace.emit("ftq", 6, occupancy=1)
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == ["stall", "ftq"]
+        assert trace.of_kind("stall")[0].fields["cycles"] == 2
+
+    def test_limit_drops_and_counts(self):
+        trace = EventTrace(limit=2)
+        for i in range(5):
+            trace.emit("ftq", i, occupancy=i)
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_clear(self):
+        trace = EventTrace()
+        trace.emit("ftq", 0, occupancy=0)
+        trace.clear()
+        assert len(trace) == 0 and trace.dropped == 0
+
+    def test_null_is_subclass(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+
+class TestExporters:
+    def events(self):
+        return [
+            Event("stall", 10, cause="miss", cycles=3, pc=0x400000),
+            Event("ftq", 12, occupancy=7, mshr=2),
+            Event("run_summary", 20, cycles=20, instructions=8),
+        ]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        n = write_jsonl(self.events(), path)
+        assert n == 3
+        back = read_jsonl(path)
+        assert back == self.events()
+
+    def test_jsonl_roundtrip_of_recorded_trace(self, tmp_path, recorded_run):
+        _, _, recorder = recorded_run
+        path = tmp_path / "run.jsonl"
+        write_jsonl(recorder, path)
+        back = read_jsonl(path)
+        assert back == recorder.events
+
+    def test_csv_header_and_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        n = write_csv(self.events(), path)
+        assert n == 3
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        header = rows[0]
+        assert header[:2] == ["kind", "cycle"]
+        assert set(header) > {"cause", "cycles", "pc", "occupancy"}
+        assert len(rows) == 4
+        stall = dict(zip(header, rows[1]))
+        assert stall["kind"] == "stall" and stall["cause"] == "miss"
+        # Fields absent from an event are left empty.
+        ftq = dict(zip(header, rows[2]))
+        assert ftq["cause"] == ""
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"ftq","cycle":1,"occupancy":2}\n\n')
+        assert read_jsonl(path) == [Event("ftq", 1, occupancy=2)]

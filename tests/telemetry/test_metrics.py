@@ -1,0 +1,87 @@
+"""MetricsRegistry instruments and component registration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(7)
+        assert g.value() == 7
+
+    def test_gauge_source(self):
+        state = {"v": 1}
+        reg = MetricsRegistry()
+        g = reg.gauge("g", source=lambda: state["v"])
+        state["v"] = 9
+        assert g.value() == 9
+        with pytest.raises(ConfigurationError):
+            g.set(3)
+
+    def test_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 2, 3, 100):
+            h.add(v)
+        assert h.count == 4 and h.total == 106
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(26.5)
+        assert h.buckets() == {1: 1, 2: 2, 64: 1}
+        snap = h.value()
+        assert snap["count"] == 4 and "buckets" in snap
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("a")
+
+    def test_snapshot_and_access(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g", source=lambda: 5)
+        snap = reg.snapshot()
+        assert snap == {"c": 2, "g": 5}
+        assert "c" in reg and len(reg) == 2
+        assert reg.names() == ["c", "g"]
+        assert isinstance(reg["c"], Counter)
+        kinds = {m.kind for m in reg}
+        assert kinds == {"counter", "gauge"}
+        assert isinstance(reg["g"], Gauge)
+        assert isinstance(MetricsRegistry().histogram("h"), Histogram)
+
+
+class TestMachineRegistration:
+    def test_machine_metrics_cover_components(self, recorded_run):
+        machine, result, _ = recorded_run
+        snap = machine.metrics.snapshot()
+        # One namespace per component.
+        for prefix in ("machine.", "frontend.", "ftq.", "mshr.", "bpu.",
+                       "l1i.", "l1d.", "l2.", "l3.", "dram.",
+                       "l1i.predictor."):
+            assert any(name.startswith(prefix) for name in snap), prefix
+        # Pull gauges read live state that matches the result counters.
+        assert snap["frontend.fetch_stall_cycles"] == \
+            result.frontend.fetch_stall_cycles
+        assert snap["l1i.hits"] >= result.frontend.l1i_hits
+        assert snap["machine.instructions_delivered"] > 0
+        assert snap["ftq.capacity"] == 128
