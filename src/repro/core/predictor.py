@@ -61,6 +61,10 @@ class PredictorConfig:
 class UsefulnessPredictor:
     """Tracks accessed bytes of recently fetched 64-byte blocks."""
 
+    __slots__ = ("config", "_index_mask", "_blocks", "_masks", "_stamp",
+                 "_clock", "_lru", "hits", "evictions", "_resident",
+                 "_used_bits")
+
     def __init__(self, config: Optional[PredictorConfig] = None) -> None:
         self.config = config or PredictorConfig()
         sets, ways = self.config.sets, self.config.ways
@@ -71,8 +75,13 @@ class UsefulnessPredictor:
         self._masks: List[List[int]] = [[0] * ways for _ in range(sets)]
         self._stamp: List[List[int]] = [[-1] * ways for _ in range(sets)]
         self._clock = 0
+        self._lru = self.config.policy == "lru"
         self.hits = 0
         self.evictions = 0
+        # Incremental storage accounting so ``storage_snapshot`` (called on
+        # every efficiency sample) is O(1) instead of a full-array walk.
+        self._resident = 0
+        self._used_bits = 0
 
     def _find(self, block: int) -> Tuple[int, int]:
         set_idx = block & self._index_mask
@@ -85,16 +94,22 @@ class UsefulnessPredictor:
     # -- interface --------------------------------------------------------------
 
     def contains(self, block: int) -> bool:
-        return self._find(block)[1] >= 0
+        return block in self._blocks[block & self._index_mask]
 
     def mark(self, block: int, offset: int, nbytes: int) -> bool:
         """Record a fetch of ``nbytes`` at ``offset``; True if present."""
-        set_idx, way = self._find(block)
-        if way < 0:
+        set_idx = block & self._index_mask
+        try:
+            way = self._blocks[set_idx].index(block)
+        except ValueError:
             return False
         self.hits += 1
-        self._masks[set_idx][way] |= ((1 << nbytes) - 1) << offset
-        if self.config.policy == "lru":
+        masks = self._masks[set_idx]
+        old = masks[way]
+        new = old | ((1 << nbytes) - 1) << offset
+        masks[way] = new
+        self._used_bits += new.bit_count() - old.bit_count()
+        if self._lru:
             self._clock += 1
             self._stamp[set_idx][way] = self._clock
         return True
@@ -104,7 +119,11 @@ class UsefulnessPredictor:
         set_idx, way = self._find(block)
         if way < 0:
             return False
-        self._masks[set_idx][way] |= mask
+        masks = self._masks[set_idx]
+        old = masks[way]
+        new = old | mask
+        masks[way] = new
+        self._used_bits += new.bit_count() - old.bit_count()
         return True
 
     def insert(self, block: int,
@@ -116,19 +135,26 @@ class UsefulnessPredictor:
         """
         set_idx, way = self._find(block)
         if way >= 0:
-            self._masks[set_idx][way] |= initial_mask
+            masks = self._masks[set_idx]
+            old = masks[way]
+            new = old | initial_mask
+            masks[way] = new
+            self._used_bits += new.bit_count() - old.bit_count()
             return None
         blocks = self._blocks[set_idx]
         try:
             way = blocks.index(None)
             evicted = None
+            self._resident += 1
         except ValueError:
             stamps = self._stamp[set_idx]
-            way = min(range(self.config.ways), key=stamps.__getitem__)
+            way = stamps.index(min(stamps))
             evicted = (blocks[way], self._masks[set_idx][way])
             self.evictions += 1
+            self._used_bits -= evicted[1].bit_count()
         blocks[way] = block
         self._masks[set_idx][way] = initial_mask
+        self._used_bits += initial_mask.bit_count()
         self._clock += 1
         self._stamp[set_idx][way] = self._clock
         return evicted
@@ -143,6 +169,8 @@ class UsefulnessPredictor:
         self._masks[set_idx][way] = 0
         self._stamp[set_idx][way] = -1
         self.evictions += 1
+        self._resident -= 1
+        self._used_bits -= result[1].bit_count()
         return result
 
     def entries(self) -> Iterator[Tuple[int, int]]:
@@ -155,12 +183,7 @@ class UsefulnessPredictor:
                     yield blocks[way], masks[way]
 
     def storage_snapshot(self) -> Tuple[int, int]:
-        used = 0
-        stored = 0
-        for _, mask in self.entries():
-            stored += TRANSFER_BLOCK
-            used += mask.bit_count()
-        return used, stored
+        return self._used_bits, self._resident * TRANSFER_BLOCK
 
     def register_metrics(self, registry,
                          prefix: str = "predictor") -> None:

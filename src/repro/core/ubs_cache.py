@@ -37,9 +37,21 @@ from ..telemetry.events import PREDICTOR
 from .predictor import PredictorConfig, UsefulnessPredictor
 from .subblock import extract_runs, mask_of_run
 
+_HIT = MissKind.HIT
+_FULL_MISS = MissKind.FULL_MISS
+
 
 class UBSICache(InstructionCacheBase):
     """Uneven Block Size L1 instruction cache."""
+
+    __slots__ = ("params", "way_sizes", "n_ways", "sets", "_index_mask",
+                 "granularity", "predictor", "policy", "_candidate_window",
+                 "_tags", "_start", "_span_end", "_useful", "_reused",
+                 "_pending_bits", "_max_way", "_fit", "_stored_bytes",
+                 "_used_bits",
+                 "_predictor_mark", "_predictor_contains", "_policy_on_hit",
+                 "partial_missing", "partial_overrun", "partial_underrun",
+                 "way_evictions", "subblocks_installed", "blocks_discarded")
 
     def __init__(self, params: Optional[UBSParams] = None,
                  predictor_config: Optional[PredictorConfig] = None) -> None:
@@ -64,6 +76,10 @@ class UBSICache(InstructionCacheBase):
         else:
             self.policy = LRUPolicy(self.sets, self.n_ways)
         self._candidate_window = params.candidate_window
+        # Prebound hot-path callables (one dict lookup saved per access).
+        self._predictor_mark = self.predictor.mark
+        self._predictor_contains = self.predictor.contains
+        self._policy_on_hit = self.policy.on_hit
 
         n, w = self.sets, self.n_ways
         self._tags: List[List[Optional[int]]] = [[None] * w for _ in range(n)]
@@ -71,6 +87,10 @@ class UBSICache(InstructionCacheBase):
         self._span_end: List[List[int]] = [[0] * w for _ in range(n)]
         self._useful: List[List[int]] = [[0] * w for _ in range(n)]
         self._reused: List[List[bool]] = [[False] * w for _ in range(n)]
+        # Incremental storage accounting mirrored on every install/evict/
+        # mark so ``storage_snapshot`` is O(1) per efficiency sample.
+        self._stored_bytes = 0
+        self._used_bits = 0
 
         # Useful bits carried from invalidated sub-blocks of blocks whose
         # refetch is still outstanding (Section IV-G).
@@ -110,27 +130,37 @@ class UBSICache(InstructionCacheBase):
 
         # The predictor is looked up in parallel with the ways; a request
         # hits in at most one of the two (Section IV-E).
-        if self.predictor.mark(block, off, nbytes):
+        if self._predictor_mark(block, off, nbytes):
             self.hits += 1
-            return LookupResult(MissKind.HIT, block_addr)
+            return LookupResult(_HIT, block_addr)
 
         set_idx = block & self._index_mask
         tags = self._tags[set_idx]
+        if block not in tags:            # C-level scan before the way walk
+            self.misses += 1
+            return LookupResult(_FULL_MISS, block_addr)
         starts = self._start[set_idx]
         spans = self._span_end[set_idx]
-        match_ways = [w for w in range(self.n_ways) if tags[w] == block]
-
-        for way in match_ways:
+        # Single pass in way order: the first way containing the whole
+        # range wins (overlapping spans are possible; way order is the
+        # tie-break). Tag-only matches are kept for miss classification.
+        match_ways: List[int] = []
+        for way in range(self.n_ways):
+            if tags[way] != block:
+                continue
             if starts[way] <= off and end_off <= spans[way]:
                 self.hits += 1
                 self._reused[set_idx][way] = True
-                self._useful[set_idx][way] |= ((1 << nbytes) - 1) << off
-                self.policy.on_hit(set_idx, way, addr)
-                return LookupResult(MissKind.HIT, block_addr)
+                useful = self._useful[set_idx]
+                old = useful[way]
+                new = old | ((1 << nbytes) - 1) << off
+                useful[way] = new
+                self._used_bits += new.bit_count() - old.bit_count()
+                self._policy_on_hit(set_idx, way, addr)
+                return LookupResult(_HIT, block_addr)
+            match_ways.append(way)
 
         self.misses += 1
-        if not match_ways:
-            return LookupResult(MissKind.FULL_MISS, block_addr)
 
         last = end_off - 1
         start_present = any(starts[w] <= off < spans[w] for w in match_ways)
@@ -169,9 +199,9 @@ class UBSICache(InstructionCacheBase):
             if pending:
                 self.predictor.mark_bits(block, pending)
             return
-        if self.telemetry.enabled:
-            self.telemetry.emit(PREDICTOR, self.now, op="insert",
-                                block=block_addr)
+        if self._tel_enabled:
+            self._telemetry.emit(PREDICTOR, self.now, op="insert",
+                                 block=block_addr)
         # A prefetch may land while sub-blocks of the block are resident
         # (the prefetch was issued for a missing range). Treat it like the
         # partial-miss flow: absorb and invalidate the resident sub-blocks.
@@ -194,6 +224,8 @@ class UBSICache(InstructionCacheBase):
                              self._tags[set_idx][way] << 6,
                              self._reused[set_idx][way])
         self._tags[set_idx][way] = None
+        self._stored_bytes -= self.way_sizes[way]
+        self._used_bits -= self._useful[set_idx][way].bit_count()
         self._useful[set_idx][way] = 0
         self._reused[set_idx][way] = False
 
@@ -201,9 +233,9 @@ class UBSICache(InstructionCacheBase):
         """Move a predictor victim's accessed runs into the ways."""
         if mask == 0:
             self.blocks_discarded += 1
-            if self.telemetry.enabled:
-                self.telemetry.emit(PREDICTOR, self.now, op="discard",
-                                    block=block << 6)
+            if self._tel_enabled:
+                self._telemetry.emit(PREDICTOR, self.now, op="discard",
+                                     block=block << 6)
             return
         set_idx = block & self._index_mask
         granularity = self.granularity
@@ -226,7 +258,11 @@ class UBSICache(InstructionCacheBase):
             absorbed = False
             for ws, wend, way in installed:
                 if ws <= run_start and run_start + run_len <= wend:
-                    self._useful[set_idx][way] |= run_mask
+                    useful = self._useful[set_idx]
+                    old = useful[way]
+                    new = old | run_mask
+                    useful[way] = new
+                    self._used_bits += new.bit_count() - old.bit_count()
                     absorbed = True
                     break
             if absorbed:
@@ -251,43 +287,39 @@ class UBSICache(InstructionCacheBase):
             self._start[set_idx][way] = start
             self._span_end[set_idx][way] = span_end
             self._useful[set_idx][way] = run_mask
+            self._stored_bytes += size
+            self._used_bits += run_mask.bit_count()
             self._reused[set_idx][way] = False
             self.policy.on_fill(set_idx, way, block << 6)
             self.subblocks_installed += 1
-            if self.telemetry.enabled:
-                self.telemetry.emit(PREDICTOR, self.now, op="install",
-                                    block=block << 6, run_start=run_start,
-                                    run_len=run_len, way_size=size)
+            if self._tel_enabled:
+                self._telemetry.emit(PREDICTOR, self.now, op="install",
+                                     block=block << 6, run_start=run_start,
+                                     run_len=run_len, way_size=size)
             installed.append((start, span_end, way))
 
     # -- probes / snapshots -------------------------------------------------------
 
     def probe_range(self, addr: int, nbytes: int) -> bool:
         block = addr >> 6
-        if self.predictor.contains(block):
+        if self._predictor_contains(block):
             return True
-        off = addr & (TRANSFER_BLOCK - 1)
-        end_off = off + nbytes
         set_idx = block & self._index_mask
         tags = self._tags[set_idx]
+        if block not in tags:            # C-level scan before the way walk
+            return False
+        off = addr & (TRANSFER_BLOCK - 1)
+        end_off = off + nbytes
         starts = self._start[set_idx]
         spans = self._span_end[set_idx]
-        return any(
-            tags[w] == block and starts[w] <= off and end_off <= spans[w]
-            for w in range(self.n_ways)
-        )
+        for w in range(self.n_ways):
+            if tags[w] == block and starts[w] <= off and end_off <= spans[w]:
+                return True
+        return False
 
     def storage_snapshot(self) -> Tuple[int, int]:
         used, stored = self.predictor.storage_snapshot()
-        sizes = self.way_sizes
-        for set_idx in range(self.sets):
-            tags = self._tags[set_idx]
-            useful = self._useful[set_idx]
-            for way in range(self.n_ways):
-                if tags[way] is not None:
-                    stored += sizes[way]
-                    used += useful[way].bit_count()
-        return used, stored
+        return used + self._used_bits, stored + self._stored_bytes
 
     def block_count(self) -> int:
         resident = sum(

@@ -17,9 +17,17 @@ from ..memory.hierarchy import MemoryHierarchy
 from ..params import CoreParams
 from ..trace.record import EXEC_LATENCY, Instruction, InstrKind
 
+_LOAD = InstrKind.LOAD
+_STORE = InstrKind.STORE
+
 
 class Backend:
     """Scoreboard-based OoO back-end."""
+
+    __slots__ = ("params", "hierarchy", "_rob", "_ring", "_count",
+                 "_reg_ready", "_last_commit", "_commits_this_cycle",
+                 "loads", "stores", "_decode_latency", "_commit_width",
+                 "_exec_latency", "_data_access")
 
     def __init__(self, params: CoreParams,
                  hierarchy: MemoryHierarchy) -> None:
@@ -35,6 +43,15 @@ class Backend:
         self._commits_this_cycle = 0
         self.loads = 0
         self.stores = 0
+        # Hoisted per-accept constants; ``accept`` runs once per
+        # instruction and is one of the hottest calls in the simulator.
+        self._decode_latency = params.decode_latency
+        self._commit_width = params.commit_width
+        # EXEC_LATENCY as a tuple indexed by the InstrKind value.
+        self._exec_latency = tuple(
+            EXEC_LATENCY[kind] for kind in sorted(EXEC_LATENCY, key=int)
+        )
+        self._data_access = hierarchy.data_access
 
     @property
     def instructions(self) -> int:
@@ -47,20 +64,23 @@ class Backend:
         # The slot we'd reuse belongs to instruction (count - rob); it must
         # have committed by the time this instruction dispatches.
         return self._ring[self._count % self._rob] \
-            <= cycle + self.params.decode_latency
+            <= cycle + self._decode_latency
 
     def rob_free_cycle(self) -> int:
         """Cycle at which the next ROB slot frees (for stall skip-ahead)."""
         if self._count < self._rob:
             return 0
-        return self._ring[self._count % self._rob] - self.params.decode_latency
+        return self._ring[self._count % self._rob] - self._decode_latency
 
     def accept(self, instr: Instruction, fetch_cycle: int) -> Tuple[int, int]:
         """Time one instruction; returns (complete_cycle, commit_cycle)."""
-        params = self.params
-        dispatch = fetch_cycle + params.decode_latency
-        if self._count >= self._rob:
-            slot_free = self._ring[self._count % self._rob]
+        count = self._count
+        rob = self._rob
+        slot = count % rob
+        dispatch = fetch_cycle + self._decode_latency
+        ring = self._ring
+        if count >= rob:
+            slot_free = ring[slot]
             if slot_free > dispatch:
                 dispatch = slot_free
 
@@ -74,34 +94,114 @@ class Backend:
             ready = reg_ready[src2 & 63]
 
         kind = instr.kind
-        if kind is InstrKind.LOAD:
+        if kind is _LOAD:
             self.loads += 1
-            latency = self.hierarchy.data_access(instr.mem_addr, ready)
+            latency = self._data_access(instr.mem_addr, ready)
             complete = ready + latency
-        elif kind is InstrKind.STORE:
+        elif kind is _STORE:
             self.stores += 1
             # Stores retire via the store queue; the pipeline only waits
             # for address/data readiness.
-            self.hierarchy.data_access(instr.mem_addr, ready, is_store=True)
+            self._data_access(instr.mem_addr, ready, is_store=True)
             complete = ready + 1
         else:
-            complete = ready + EXEC_LATENCY[kind]
+            complete = ready + self._exec_latency[kind]
 
         dst = instr.dst
         if dst >= 0:
             reg_ready[dst & 63] = complete
 
-        commit = complete if complete > self._last_commit else self._last_commit
-        if commit == self._last_commit:
-            if self._commits_this_cycle >= params.commit_width:
+        last_commit = self._last_commit
+        if complete > last_commit:
+            commit = complete
+            self._commits_this_cycle = 1
+        else:
+            commit = last_commit
+            if self._commits_this_cycle >= self._commit_width:
                 commit += 1
                 self._commits_this_cycle = 1
             else:
                 self._commits_this_cycle += 1
-        else:
-            self._commits_this_cycle = 1
         self._last_commit = commit
 
-        self._ring[self._count % self._rob] = commit
-        self._count += 1
+        ring[slot] = commit
+        self._count = count + 1
+        return complete, commit
+
+    def accept_range(self, trace, base: int, n: int,
+                     fetch_cycle: int) -> Tuple[int, int]:
+        """Time ``n`` consecutive instructions ``trace[base:base + n]``
+        fetched at ``fetch_cycle``; returns the last instruction's
+        (complete_cycle, commit_cycle).
+
+        Semantically identical to ``n`` ``accept`` calls, but hoists the
+        scoreboard state into locals once per delivered chunk instead of
+        once per instruction — the machine's delivery loop is the hottest
+        call site in the simulator.
+        """
+        count = self._count
+        rob = self._rob
+        ring = self._ring
+        reg_ready = self._reg_ready
+        exec_latency = self._exec_latency
+        data_access = self._data_access
+        commit_width = self._commit_width
+        last_commit = self._last_commit
+        commits_this_cycle = self._commits_this_cycle
+        loads = self.loads
+        stores = self.stores
+        base_dispatch = fetch_cycle + self._decode_latency
+        complete = 0
+        commit = last_commit
+        for i in range(base, base + n):
+            instr = trace[i]
+            slot = count % rob
+            dispatch = base_dispatch
+            if count >= rob:
+                slot_free = ring[slot]
+                if slot_free > dispatch:
+                    dispatch = slot_free
+
+            ready = dispatch
+            src1 = instr.src1
+            if src1 >= 0 and reg_ready[src1 & 63] > ready:
+                ready = reg_ready[src1 & 63]
+            src2 = instr.src2
+            if src2 >= 0 and reg_ready[src2 & 63] > ready:
+                ready = reg_ready[src2 & 63]
+
+            kind = instr.kind
+            if kind is _LOAD:
+                loads += 1
+                complete = ready + data_access(instr.mem_addr, ready)
+            elif kind is _STORE:
+                stores += 1
+                data_access(instr.mem_addr, ready, is_store=True)
+                complete = ready + 1
+            else:
+                complete = ready + exec_latency[kind]
+
+            dst = instr.dst
+            if dst >= 0:
+                reg_ready[dst & 63] = complete
+
+            if complete > last_commit:
+                commit = complete
+                commits_this_cycle = 1
+            else:
+                commit = last_commit
+                if commits_this_cycle >= commit_width:
+                    commit += 1
+                    commits_this_cycle = 1
+                else:
+                    commits_this_cycle += 1
+            last_commit = commit
+            ring[slot] = commit
+            count += 1
+
+        self._count = count
+        self._last_commit = last_commit
+        self._commits_this_cycle = commits_this_cycle
+        self.loads = loads
+        self.stores = stores
         return complete, commit

@@ -31,7 +31,8 @@ from ..frontend.bpu import BranchPredictionUnit, Resteer
 from ..frontend.ftq import FetchRange, FetchTargetQueue, RangeBuilder
 from ..memory.distillation import DistillationICache
 from ..memory.hierarchy import MemoryHierarchy
-from ..memory.icache import InstructionCacheBase, ConventionalICache
+from ..memory.icache import (InstructionCacheBase, ConventionalICache,
+                             MissKind)
 from ..memory.mshr import MSHRFile
 from ..memory.small_block import SmallBlockICache
 from ..params import MachineParams, UBSParams, conventional_l1i
@@ -56,6 +57,9 @@ from ..core.ubs_cache import UBSICache
 _STALL_MISS = 1
 _STALL_RESTEER = 2
 _STALL_BACKEND = 3
+
+#: Hoisted enum member: the fetch loop compares against it every cycle.
+_HIT = MissKind.HIT
 
 #: Event-trace cause names for the ``_STALL_*`` codes.
 _STALL_NAMES = {
@@ -100,6 +104,11 @@ class Machine:
         self._fills: List[Tuple[int, int]] = []     # (cycle, block_addr)
         self._fdip_queue: Deque[FetchRange] = deque()
         self._prefetcher = self.params.core.prefetcher
+        # Hoisted per-cycle parameters (attribute chains cost in the loop).
+        core = self.params.core
+        self._bpu_ranges_per_cycle = core.bpu_ranges_per_cycle
+        self._fdip_degree = core.fdip_degree
+        self._fdip_on = self._prefetcher == "fdip"
         self.stats = FrontEndStats()
         self.cycle = 0
         self.delivered = 0
@@ -144,60 +153,83 @@ class Machine:
 
     # -- per-cycle stages ---------------------------------------------------------
 
-    def _process_fills(self) -> None:
+    def _process_fills(self, cycle: int) -> None:
         fills = self._fills
-        cycle = self.cycle
         if self._rec is not None and fills and fills[0][0] <= cycle:
             # Let the cache stamp predictor train/install events with the
             # fill cycle (fill() itself has no cycle argument).
             self.icache.now = cycle
+        pop = heapq.heappop
+        fill = self.icache.fill
         while fills and fills[0][0] <= cycle:
-            _, block_addr = heapq.heappop(fills)
-            self.icache.fill(block_addr)
+            fill(pop(fills)[1])
 
-    def _run_bpu(self) -> None:
-        ftq = self.ftq
-        builder = self.builder
-        for _ in range(self.params.core.bpu_ranges_per_cycle):
-            if ftq.full or builder.blocked or builder.exhausted:
-                return
-            fetch_range = builder.build_next()
-            if fetch_range is None:
-                return
-            ftq.push(fetch_range)
-            if self._prefetcher == "fdip":
-                self._fdip_queue.append(fetch_range)
+    def _make_run_bpu(self):
+        """Build the per-cycle BPU stage as a closure: every otherwise
+        per-call rebinding happens once per ``run``."""
+        ftq_q = self.ftq._queue
+        capacity = self.ftq.capacity
+        ftq_append = ftq_q.append
+        # ``build_next`` returns None when the builder is blocked or the
+        # trace is exhausted, so only the FTQ-full guard is needed here.
+        build_next = self.builder.build_next
+        fdip_append = self._fdip_queue.append if self._fdip_on else None
+        ranges_per_cycle = range(self._bpu_ranges_per_cycle)
 
-    def _run_fdip(self) -> None:
+        def run_bpu() -> None:
+            for _ in ranges_per_cycle:
+                if len(ftq_q) >= capacity:
+                    return
+                fetch_range = build_next()
+                if fetch_range is None:
+                    return
+                ftq_append(fetch_range)
+                if fdip_append is not None:
+                    fdip_append(fetch_range)
+
+        return run_bpu
+
+    def _make_run_fdip(self):
+        """Build the per-cycle FDIP stage as a closure (see _make_run_bpu)."""
         queue = self._fdip_queue
-        if not queue:
-            return
-        cycle = self.cycle
         mshr = self.mshr
-        icache = self.icache
-        issued = 0
-        budget = self.params.core.fdip_degree
-        while queue and issued < budget:
-            if mshr.full(cycle):
-                return
-            fr = queue[0]
-            if icache.probe_range(fr.start, fr.nbytes):
-                queue.popleft()
-                continue
-            block_addr = fr.block_addr
-            if mshr.lookup(block_addr, cycle) is not None:
-                queue.popleft()
-                continue
-            latency = self.hierarchy.fetch_block(block_addr, cycle)
-            fill_at = cycle + latency
-            mshr.allocate(block_addr, fill_at, cycle)
-            heapq.heappush(self._fills, (fill_at, block_addr))
-            self.stats.prefetches_issued += 1
-            if self._rec is not None:
-                self._rec.emit(EV_MSHR, cycle, block=block_addr,
-                               fill=fill_at, source="fdip")
-            queue.popleft()
-            issued += 1
+        mshr_full = mshr.full
+        mshr_lookup = mshr.lookup
+        mshr_allocate = mshr.allocate
+        probe = self.icache.probe_range
+        popleft = queue.popleft
+        fetch_block = self.hierarchy.fetch_block
+        fills = self._fills
+        push = heapq.heappush
+        rec = self._rec
+        stats = self.stats
+        budget = self._fdip_degree
+
+        def run_fdip(cycle: int) -> None:
+            issued = 0
+            while queue and issued < budget:
+                if mshr_full(cycle):
+                    return
+                fr = queue[0]
+                start = fr.start
+                if probe(start, fr.nbytes):
+                    popleft()
+                    continue
+                block_addr = start & ~63
+                if mshr_lookup(block_addr, cycle) is not None:
+                    popleft()
+                    continue
+                fill_at = cycle + fetch_block(block_addr, cycle)
+                mshr_allocate(block_addr, fill_at, cycle)
+                push(fills, (fill_at, block_addr))
+                stats.prefetches_issued += 1
+                if rec is not None:
+                    rec.emit(EV_MSHR, cycle, block=block_addr,
+                             fill=fill_at, source="fdip")
+                popleft()
+                issued += 1
+
+        return run_fdip
 
     # -- main loop -------------------------------------------------------------------
 
@@ -224,20 +256,30 @@ class Machine:
         rec = self._rec
         rec_hits = rec is not None and rec.record_hits
         prof = self.telemetry.profiler
+        # Stage callables are bound into locals (and wrapped there when
+        # profiling), so unprofiled runs never pay the wrapper cost and no
+        # component instance is ever monkey-patched.
+        process_fills = self._process_fills
+        run_bpu = self._make_run_bpu()
+        run_fdip = self._make_run_fdip()
+        maybe_skip = self._maybe_skip
+        lookup = icache.lookup
+        accept = self.backend.accept_range
         if prof is not None:
-            # Instance-attribute wrapping: only profiled machines pay the
-            # per-call perf_counter cost.
-            self._process_fills = prof.wrap("fills", self._process_fills)
-            self._run_bpu = prof.wrap("bpu", self._run_bpu)
-            self._run_fdip = prof.wrap("fdip", self._run_fdip)
-            icache.lookup = prof.wrap("fetch", icache.lookup)
-            self.backend.accept = prof.wrap("backend", self.backend.accept)
+            process_fills = prof.wrap("fills", process_fills)
+            run_bpu = prof.wrap("bpu", run_bpu)
+            run_fdip = prof.wrap("fdip", run_fdip)
+            lookup = prof.wrap("fetch", lookup)
+            accept = prof.wrap("backend", accept)
             prof.start()
         wall_start = perf_counter()
 
         # Fetch state.
         cur: Optional[FetchRange] = None
         cur_byte = 0
+        cur_end = 0
+        ends: Tuple[int, ...] = ()
+        n_ends = 0
         delivered_in_range = 0
         blocked_until = 0
         blocked_kind = 0
@@ -245,126 +287,202 @@ class Machine:
         measuring = False
         warmup_commit = 0
         warmup_snapshot = None
+        # The measured window opens after the instruction that reaches the
+        # warm-up count — with warmup=0, after the very first instruction
+        # (the per-instruction flip check ran after each accept).
+        warmup_boundary = warmup if warmup > 0 else 1
 
-        fetch_bytes = self.params.core.fetch_bytes
-        fetch_width = self.params.core.fetch_width
+        # Hot-loop locals: every name inside the cycle loop resolves in the
+        # frame instead of through attribute chains. ``self.cycle`` is
+        # synced back around dispatched helpers (which tests may patch) and
+        # at loop exit, together with ``self.delivered``/``self._last_commit``.
+        core = self.params.core
+        fetch_bytes = core.fetch_bytes
+        fetch_width = core.fetch_width
+        btb_penalty = core.btb_resteer_penalty
         trace = self.trace
+        fills = self._fills
+        fdip_queue = self._fdip_queue
+        ftq_q = self.ftq._queue
+        ftq_capacity = self.ftq.capacity
+        builder = self.builder
+        mshr = self.mshr
+        backend = self.backend
+        rob_ring = backend._ring
+        rob_cap = backend._rob
+        decode_lat = backend._decode_latency
+        rob_free_cycle = backend.rob_free_cycle
+        maybe_sample = sampler.maybe_sample
+        next_sample = sampler._next_sample
+        resteer_none = Resteer.NONE
+        resteer_decode = Resteer.DECODE
+        cycle = self.cycle
+        delivered = self.delivered
+        last_commit = self._last_commit
 
-        while self.delivered < total:
-            cycle = self.cycle
-            self._process_fills()
+        while delivered < total:
+            if fills and fills[0][0] <= cycle:
+                process_fills(cycle)
             # Resume BPU run-ahead once a resteer has resolved.
             if pending_resteer is not None and cycle >= pending_resteer[0]:
-                self.builder.resume()
+                builder.resume()
                 pending_resteer = None
-            self._run_bpu()
-            self._run_fdip()
+            if not builder.blocked and len(ftq_q) < ftq_capacity:
+                run_bpu()
+            if fdip_queue:
+                run_fdip(cycle)
 
             if rec is not None and (cycle & _FTQ_SAMPLE_MASK) == 0:
-                rec.emit(EV_FTQ, cycle, occupancy=len(self.ftq),
-                         mshr=len(self.mshr))
+                rec.emit(EV_FTQ, cycle, occupancy=len(ftq_q),
+                         mshr=len(mshr))
 
             if cycle < blocked_until:
-                self._account_stall(blocked_kind, 1, measuring)
-                self._maybe_skip(blocked_until, blocked_kind, measuring)
-                if measuring and sample_efficiency:
-                    sampler.maybe_sample(icache, self.cycle)
-                self.cycle += 1
+                # Inlined _account_stall(blocked_kind, 1, measuring).
+                if measuring:
+                    if blocked_kind == _STALL_MISS:
+                        stats.fetch_stall_cycles += 1
+                    elif blocked_kind == _STALL_RESTEER:
+                        stats.mispredict_stall_cycles += 1
+                    if rec is not None:
+                        rec.emit(EV_STALL, cycle,
+                                 cause=_STALL_NAMES.get(blocked_kind,
+                                                        "unknown"),
+                                 cycles=1, pc=self._stall_pc)
+                self.cycle = cycle
+                maybe_skip(blocked_until, blocked_kind, measuring)
+                cycle = self.cycle
+                if measuring and sample_efficiency and cycle >= next_sample:
+                    maybe_sample(icache, cycle)
+                    next_sample = sampler._next_sample
+                cycle += 1
                 continue
             blocked_kind = 0
 
             if cur is None:
-                head = self.ftq.head()
-                if head is None:
+                if not ftq_q:
                     # FTQ empty: either the BPU is blocked behind a resteer
                     # (fetch waits for it) or run-ahead starved this cycle.
-                    if pending_resteer is not None:
-                        self._account_stall(_STALL_RESTEER, 1, measuring)
-                    self.cycle += 1
+                    if pending_resteer is not None and measuring:
+                        # Inlined _account_stall(_STALL_RESTEER, 1, ...).
+                        stats.mispredict_stall_cycles += 1
+                        if rec is not None:
+                            rec.emit(EV_STALL, cycle, cause="resteer",
+                                     cycles=1, pc=self._stall_pc)
+                    cycle += 1
                     continue
-                cur = self.ftq.pop()
+                cur = ftq_q.popleft()
                 cur_byte = cur.start
+                cur_end = cur_byte + cur.nbytes
+                ends = cur.instr_ends
+                n_ends = len(ends)
                 delivered_in_range = 0
 
-            if not self.backend.rob_has_space(cycle):
-                blocked_until = max(cycle + 1, self.backend.rob_free_cycle())
+            # Inlined backend.rob_has_space(cycle).
+            count = backend._count
+            if count >= rob_cap \
+                    and rob_ring[count % rob_cap] > cycle + decode_lat:
+                blocked_until = max(cycle + 1, rob_free_cycle())
                 blocked_kind = _STALL_BACKEND
                 self._stall_pc = cur_byte
-                self.cycle += 1
+                cycle += 1
                 continue
 
             # Decide this cycle's chunk: bytes up to the fetch bandwidth,
             # instructions up to the fetch width.
-            chunk_end = min(cur.end, cur_byte + fetch_bytes)
-            ends = cur.instr_ends
-            n_ready = 0
-            while (delivered_in_range + n_ready < len(ends)
-                   and ends[delivered_in_range + n_ready] <= chunk_end
-                   and n_ready < fetch_width):
-                n_ready += 1
-            if n_ready == fetch_width \
-                    and delivered_in_range + n_ready < len(ends):
-                chunk_end = ends[delivered_in_range + n_ready - 1]
+            chunk_end = cur_byte + fetch_bytes
+            if chunk_end > cur_end:
+                chunk_end = cur_end
+            i = delivered_in_range
+            n_stop = i + fetch_width
+            if n_stop > n_ends:
+                n_stop = n_ends
+            while i < n_stop and ends[i] <= chunk_end:
+                i += 1
+            n_ready = i - delivered_in_range
+            if n_ready == fetch_width and i < n_ends:
+                chunk_end = ends[i - 1]
 
-            result = icache.lookup(cur_byte, chunk_end - cur_byte)
-            if not result.hit:
+            result = lookup(cur_byte, chunk_end - cur_byte)
+            if result.kind is not _HIT:
                 self._stall_pc = cur_byte
                 if rec is not None:
                     rec.emit(EV_L1I, cycle, result=result.kind.name,
                              pc=cur_byte, nbytes=chunk_end - cur_byte)
-                blocked_until = self._handle_miss(result.block_addr)
+                blocked_until = self._handle_miss(result.block_addr, cycle)
                 blocked_kind = _STALL_MISS
-                self._account_stall(_STALL_MISS, 1, measuring)
-                self.cycle += 1
+                # Inlined _account_stall(_STALL_MISS, 1, measuring).
+                if measuring:
+                    stats.fetch_stall_cycles += 1
+                    if rec is not None:
+                        rec.emit(EV_STALL, cycle, cause="miss", cycles=1,
+                                 pc=cur_byte)
+                cycle += 1
                 continue
             if rec_hits:
                 rec.emit(EV_L1I, cycle, result="HIT", pc=cur_byte,
                          nbytes=chunk_end - cur_byte)
 
-            # Deliver the completed instructions to the back-end.
+            # Deliver the completed instructions to the back-end in one
+            # chunked call (identical timing to per-instruction accept).
             last_complete = 0
-            for i in range(n_ready):
-                instr = trace[cur.first_index + delivered_in_range + i]
-                complete, commit = self.backend.accept(instr, cycle)
-                last_complete = complete
-                self._last_commit = commit
-                self.delivered += 1
-                if not measuring and self.delivered >= warmup:
-                    measuring = True
-                    warmup_commit = commit
-                    icache.recording = True
-                    icache.reset_stats()
-                    warmup_snapshot = self._snapshot()
-                    sampler.reset(cycle)
-                if self.delivered >= total:
-                    break
+            base = cur.first_index + delivered_in_range
+            n_accept = n_ready
+            if delivered + n_accept > total:
+                n_accept = total - delivered
+            if not measuring and n_accept \
+                    and delivered + n_accept >= warmup_boundary:
+                # The warm-up boundary falls inside this chunk: split it so
+                # the snapshot is taken at the exact instruction.
+                n1 = warmup_boundary - delivered
+                last_complete, last_commit = accept(trace, base, n1, cycle)
+                delivered += n1
+                measuring = True
+                warmup_commit = last_commit
+                icache.recording = True
+                icache.reset_stats()
+                self.cycle = cycle
+                self.delivered = delivered
+                warmup_snapshot = self._snapshot()
+                sampler.reset(cycle)
+                next_sample = sampler._next_sample
+                n2 = n_accept - n1
+                if n2:
+                    last_complete, last_commit = accept(trace, base + n1,
+                                                        n2, cycle)
+                    delivered += n2
+            elif n_accept:
+                last_complete, last_commit = accept(trace, base, n_accept,
+                                                    cycle)
+                delivered += n_accept
             delivered_in_range += n_ready
             cur_byte = chunk_end
 
-            if cur_byte >= cur.end and self.delivered < total:
-                if cur.resteer != Resteer.NONE \
-                        and delivered_in_range >= len(ends):
-                    if cur.resteer == Resteer.DECODE:
-                        resume = cycle + self.params.core.btb_resteer_penalty
+            if cur_byte >= cur_end and delivered < total:
+                if cur.resteer is not resteer_none \
+                        and delivered_in_range >= n_ends:
+                    if cur.resteer is resteer_decode:
+                        resume = cycle + btb_penalty
+                        if measuring:
+                            stats.btb_resteers += 1
                     else:
                         resume = last_complete + 1
-                    if measuring:
-                        if cur.resteer == Resteer.DECODE:
-                            stats.btb_resteers += 1
-                        else:
+                        if measuring:
                             stats.branch_mispredicts += 1
                     pending_resteer = (resume, int(cur.resteer))
                     blocked_until = resume
                     blocked_kind = _STALL_RESTEER
                     # Attribute the resteer stall to the causing branch.
-                    self._stall_pc = trace[cur.first_index
-                                           + len(ends) - 1].pc
+                    self._stall_pc = trace[cur.first_index + n_ends - 1].pc
                 cur = None
 
-            if measuring and sample_efficiency:
-                sampler.maybe_sample(icache, cycle)
-            self.cycle += 1
+            if measuring and sample_efficiency and cycle >= next_sample:
+                maybe_sample(icache, cycle)
+                next_sample = sampler._next_sample
+            cycle += 1
 
+        self.cycle = cycle
+        self.delivered = delivered
+        self._last_commit = last_commit
         if prof is not None:
             prof.stop()
         self.wall_seconds = perf_counter() - wall_start
@@ -373,9 +491,8 @@ class Machine:
 
     # -- helpers -----------------------------------------------------------------------
 
-    def _handle_miss(self, block_addr: int) -> int:
+    def _handle_miss(self, block_addr: int, cycle: int) -> int:
         """Start or join the fill for ``block_addr``; returns its cycle."""
-        cycle = self.cycle
         mshr = self.mshr
         inflight = mshr.lookup(block_addr, cycle)
         if inflight is not None:

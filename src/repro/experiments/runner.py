@@ -16,6 +16,7 @@ performance figures.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from time import perf_counter
@@ -31,14 +32,20 @@ from ..trace.workloads import Workload, get_workload, scale_factor
 #: Bump when any change alters simulation results.
 RESULTS_VERSION = 9
 
-_DEF_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+_log = logging.getLogger(__name__)
+
+
+def _default_cache_dir() -> Path:
+    """Resolve ``REPRO_CACHE_DIR`` at construction time, not import time,
+    so tests and scripts can redirect the cache after importing us."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
 class ResultCache:
     """Disk cache of simulation results and generated traces."""
 
     def __init__(self, root: Optional[Path] = None) -> None:
-        self.root = Path(root) if root else _DEF_CACHE_DIR
+        self.root = Path(root) if root else _default_cache_dir()
         (self.root / "results").mkdir(parents=True, exist_ok=True)
         (self.root / "traces").mkdir(parents=True, exist_ok=True)
 
@@ -58,7 +65,11 @@ class ResultCache:
         try:
             with open(path) as fh:
                 return SimResult.from_dict(json.load(fh))
-        except (json.JSONDecodeError, KeyError, TypeError):
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            # A truncated or stale entry must not silently poison results:
+            # warn, drop the file and let the caller re-simulate.
+            _log.warning("discarding corrupt result cache entry %s (%s: %s)",
+                         path, type(exc).__name__, exc)
             path.unlink(missing_ok=True)
             return None
 

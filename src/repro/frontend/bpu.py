@@ -32,8 +32,23 @@ class Resteer(IntEnum):
     EXECUTE = 2
 
 
+_BR_COND = InstrKind.BR_COND
+_JUMP = InstrKind.JUMP
+_CALL = InstrKind.CALL
+_CALL_IND = InstrKind.CALL_IND
+_BR_IND = InstrKind.BR_IND
+_RET = InstrKind.RET
+_NONE = Resteer.NONE
+_DECODE = Resteer.DECODE
+_EXECUTE = Resteer.EXECUTE
+
+
 class BranchPredictionUnit:
     """Combined direction/target predictor operating on trace records."""
+
+    __slots__ = ("params", "direction", "btb", "ras", "cond_lookups",
+                 "mispredicts", "btb_resteers", "_predict", "_note_uncond",
+                 "_btb_lookup", "_btb_update", "_ras_push", "_ras_pop")
 
     def __init__(self, params: BranchParams = BranchParams()) -> None:
         self.params = params
@@ -43,6 +58,14 @@ class BranchPredictionUnit:
         self.cond_lookups = 0
         self.mispredicts = 0
         self.btb_resteers = 0
+        # Prebound component entry points; ``process`` runs once per
+        # control-flow instruction during BPU run-ahead.
+        self._predict = self.direction.predict_and_train
+        self._note_uncond = self.direction.note_unconditional
+        self._btb_lookup = self.btb.lookup
+        self._btb_update = self.btb.update
+        self._ras_push = self.ras.push
+        self._ras_pop = self.ras.pop
 
     def process(self, instr: Instruction) -> Resteer:
         """Predict + train on one control-flow instruction; classify the
@@ -50,67 +73,67 @@ class BranchPredictionUnit:
         kind = instr.kind
         pc = instr.pc
 
-        if kind == InstrKind.BR_COND:
+        if kind is _BR_COND:
             self.cond_lookups += 1
-            predicted_taken = self.direction.predict_and_train(pc, instr.taken)
+            predicted_taken = self._predict(pc, instr.taken)
             if predicted_taken != instr.taken:
                 self.mispredicts += 1
                 if instr.taken:
-                    self.btb.update(pc, instr.target)
-                return Resteer.EXECUTE
+                    self._btb_update(pc, instr.target)
+                return _EXECUTE
             if not instr.taken:
-                return Resteer.NONE
-            target = self.btb.lookup(pc)
-            self.btb.update(pc, instr.target)
+                return _NONE
+            target = self._btb_lookup(pc)
+            self._btb_update(pc, instr.target)
             if target is None:
                 self.btb_resteers += 1
-                return Resteer.DECODE
+                return _DECODE
             if target != instr.target:
                 self.mispredicts += 1
-                return Resteer.EXECUTE
-            return Resteer.NONE
+                return _EXECUTE
+            return _NONE
 
-        if kind in (InstrKind.JUMP, InstrKind.CALL):
-            self.direction.note_unconditional()
-            if kind == InstrKind.CALL:
-                self.ras.push(pc + instr.size)
-            target = self.btb.lookup(pc)
-            self.btb.update(pc, instr.target)
+        if kind is _JUMP or kind is _CALL:
+            self._note_uncond()
+            if kind is _CALL:
+                self._ras_push(pc + instr.size)
+            target = self._btb_lookup(pc)
+            self._btb_update(pc, instr.target)
             if target is None:
                 # Direct branches resteer at decode: the target is encoded
                 # in the instruction bytes.
                 self.btb_resteers += 1
-                return Resteer.DECODE
+                return _DECODE
             if target != instr.target:
                 self.mispredicts += 1
-                return Resteer.EXECUTE
-            return Resteer.NONE
+                return _EXECUTE
+            return _NONE
 
-        if kind == InstrKind.CALL_IND:
-            self.direction.note_unconditional()
-            self.ras.push(pc + instr.size)
-            target = self.btb.lookup(pc)
-            self.btb.update(pc, instr.target)
+        if kind is _CALL_IND:
+            self._note_uncond()
+            self._ras_push(pc + instr.size)
+            target = self._btb_lookup(pc)
+            self._btb_update(pc, instr.target)
             if target != instr.target:
                 self.mispredicts += 1
-                return Resteer.EXECUTE
-            return Resteer.NONE
+                return _EXECUTE
+            return _NONE
 
-        if kind == InstrKind.BR_IND:
-            self.direction.note_unconditional()
-            target = self.btb.lookup(pc)
-            self.btb.update(pc, instr.target)
+        if kind is _BR_IND:
+            self._note_uncond()
+            target = self._btb_lookup(pc)
+            self._btb_update(pc, instr.target)
             if target != instr.target:
                 self.mispredicts += 1
-                return Resteer.EXECUTE
-            return Resteer.NONE
+                return _EXECUTE
+            return _NONE
 
-        if kind == InstrKind.RET:
-            self.direction.note_unconditional()
-            predicted = self.ras.pop()
+        if kind is _RET:
+            self._note_uncond()
+            predicted = self._ras_pop()
             if predicted != instr.target:
                 self.mispredicts += 1
-                return Resteer.EXECUTE
-            return Resteer.NONE
+                return _EXECUTE
+            return _NONE
 
-        return Resteer.NONE
+        return _NONE

@@ -10,6 +10,9 @@ from ..params import BranchParams
 class BTB:
     """Set-associative BTB storing branch targets."""
 
+    __slots__ = ("ways", "sets", "_index_mask", "_tags", "_targets",
+                 "_stamp", "_clock", "hits", "misses")
+
     def __init__(self, params: BranchParams = BranchParams()) -> None:
         self.ways = params.btb_ways
         self.sets = params.btb_entries // params.btb_ways
@@ -38,22 +41,30 @@ class BTB:
 
     def lookup(self, pc: int) -> Optional[int]:
         """Target stored for the branch at ``pc`` (None on BTB miss)."""
-        set_idx, way = self._locate(pc)
-        if way < 0:
+        tag = pc >> 2
+        set_idx = tag & self._index_mask
+        try:
+            way = self._tags[set_idx].index(tag)
+        except ValueError:
             self.misses += 1
             return None
         self.hits += 1
-        self._clock += 1
-        self._stamp[set_idx][way] = self._clock
+        clock = self._clock + 1
+        self._clock = clock
+        self._stamp[set_idx][way] = clock
         return self._targets[set_idx][way]
 
     def update(self, pc: int, target: int) -> None:
         """Install/refresh the target for the branch at ``pc``."""
-        set_idx, way = self._locate(pc)
-        if way < 0:
+        tag = pc >> 2
+        set_idx = tag & self._index_mask
+        try:
+            way = self._tags[set_idx].index(tag)
+        except ValueError:
             stamps = self._stamp[set_idx]
-            way = min(range(self.ways), key=stamps.__getitem__)
-            self._tags[set_idx][way] = pc >> 2
+            way = stamps.index(min(stamps))
+            self._tags[set_idx][way] = tag
         self._targets[set_idx][way] = target
-        self._clock += 1
-        self._stamp[set_idx][way] = self._clock
+        clock = self._clock + 1
+        self._clock = clock
+        self._stamp[set_idx][way] = clock

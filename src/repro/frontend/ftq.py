@@ -19,8 +19,10 @@ from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
-from ..trace.record import Instruction
+from ..trace.record import IS_BRANCH, Instruction
 from .bpu import BranchPredictionUnit, Resteer
+
+_RESTEER_NONE = Resteer.NONE
 
 
 class FetchRange:
@@ -56,6 +58,9 @@ class FetchRange:
 class RangeBuilder:
     """Advances the BPU over the trace, emitting fetch ranges."""
 
+    __slots__ = ("trace", "bpu", "index", "_next_byte", "blocked",
+                 "_n_trace", "_bpu_process")
+
     def __init__(self, trace: Sequence[Instruction],
                  bpu: BranchPredictionUnit) -> None:
         self.trace = trace
@@ -63,10 +68,12 @@ class RangeBuilder:
         self.index = 0                 # next instruction the BPU considers
         self._next_byte: Optional[int] = None  # continuation byte, if any
         self.blocked = False           # stopped behind a resteer
+        self._n_trace = len(trace)
+        self._bpu_process = bpu.process
 
     @property
     def exhausted(self) -> bool:
-        return self.index >= len(self.trace) and self._next_byte is None
+        return self.index >= self._n_trace and self._next_byte is None
 
     def resume(self) -> None:
         """Called when a resteer resolves; run-ahead may continue."""
@@ -77,35 +84,35 @@ class RangeBuilder:
         if self.blocked or self.exhausted:
             return None
         trace = self.trace
+        n_trace = self._n_trace
         idx = self.index
-        if self._next_byte is not None:
-            start = self._next_byte
-        else:
-            start = trace[idx].pc
+        next_byte = self._next_byte
+        start = next_byte if next_byte is not None else trace[idx].pc
         block_end = (start | 63) + 1
 
         instr_ends: List[int] = []
+        append = instr_ends.append
+        is_branch = IS_BRANCH
+        process = self._bpu_process
         end = start
-        resteer = Resteer.NONE
+        resteer = _RESTEER_NONE
+        straddle = False
 
-        while idx < len(trace):
+        while idx < n_trace:
             ins = trace[idx]
             ins_end = ins.pc + ins.size
             if ins_end > block_end:
                 # The instruction straddles the block boundary: it completes
                 # in the continuation range that starts at the boundary.
                 end = block_end
-                self._next_byte = block_end
-                self.index = idx
+                straddle = True
                 break
             end = ins_end
-            instr_ends.append(ins_end)
+            append(ins_end)
             idx += 1
-            self._next_byte = None
-            self.index = idx
-            if ins.is_branch:
-                resteer = self.bpu.process(ins)
-                if resteer != Resteer.NONE:
+            if is_branch[ins.kind]:
+                resteer = process(ins)
+                if resteer:          # i.e. != Resteer.NONE
                     self.blocked = True
                     break
                 if ins.taken:
@@ -115,6 +122,8 @@ class RangeBuilder:
 
         if end == start:
             raise SimulationError("built an empty fetch range")
+        self.index = idx
+        self._next_byte = block_end if straddle else None
         # Completed instructions are trace[idx - len(instr_ends) : idx] in
         # both the normal and the boundary-straddling case.
         return FetchRange(start, end - start, idx - len(instr_ends),
@@ -123,6 +132,8 @@ class RangeBuilder:
 
 class FetchTargetQueue:
     """Bounded FIFO of fetch ranges between the BPU and the fetch engine."""
+
+    __slots__ = ("capacity", "_queue")
 
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity

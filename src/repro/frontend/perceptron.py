@@ -19,6 +19,10 @@ _WEIGHT_MIN = -32
 class HashedPerceptron:
     """Multi-table hashed perceptron over global branch history."""
 
+    __slots__ = ("n_tables", "entries", "threshold", "_mask", "_tables",
+                 "_table_info", "_history", "lookups", "mispredicts",
+                 "_scratch")
+
     def __init__(self, params: BranchParams = BranchParams()) -> None:
         self.n_tables = params.perceptron_tables
         self.entries = params.perceptron_entries
@@ -27,7 +31,19 @@ class HashedPerceptron:
         self._tables: List[List[int]] = [
             [0] * self.entries for _ in range(self.n_tables)
         ]
+        # Per-table (weights, history mask, table-id hash term), so the
+        # prediction loop carries no per-call modulo/shift recomputation.
+        lengths = self.HISTORY_LENGTHS
+        self._table_info = tuple(
+            (self._tables[i],
+             (1 << lengths[i % len(lengths)]) - 1,
+             i * 0x85EBCA6B)
+            for i in range(self.n_tables)
+        )
         self._history = 0
+        # Reusable per-prediction index buffer (avoids allocating a list of
+        # (table, index) pairs on every lookup).
+        self._scratch = [0] * self.n_tables
         self.lookups = 0
         self.mispredicts = 0
 
@@ -39,38 +55,54 @@ class HashedPerceptron:
     def _indices(self, pc: int) -> List[int]:
         h = self._history
         base = (pc >> 2) ^ (pc >> 11)
+        mask = self._mask
         out = []
-        lengths = self.HISTORY_LENGTHS
-        for i in range(self.n_tables):
-            length = lengths[i % len(lengths)]
-            if length:
-                seg = h & ((1 << length) - 1)
-                while seg >> 16:
-                    seg = (seg & 0xFFFF) ^ (seg >> 16)
-            else:
-                seg = 0
-            out.append((base ^ (seg * 0x9E3779B1) ^ (i * 0x85EBCA6B))
-                       & self._mask)
+        for _table, hist_mask, id_term in self._table_info:
+            seg = h & hist_mask
+            if seg >> 16:
+                # Closed-form of the iterative 16-bit XOR fold: history is
+                # at most 64 bits, so four chunks always suffice.
+                seg = (seg ^ (seg >> 16) ^ (seg >> 32) ^ (seg >> 48)) & 0xFFFF
+            out.append((base ^ (seg * 0x9E3779B1) ^ id_term) & mask)
         return out
 
     def predict_and_train(self, pc: int, taken: bool) -> bool:
         """Predict the branch at ``pc``; immediately train with the actual
         outcome (trace-driven operation). Returns the *prediction*."""
         self.lookups += 1
-        indices = self._indices(pc)
-        total = sum(self._tables[i][idx] for i, idx in enumerate(indices))
+        h = self._history
+        base = (pc >> 2) ^ (pc >> 11)
+        mask = self._mask
+        total = 0
+        idxs = self._scratch
+        i = 0
+        for table, hist_mask, id_term in self._table_info:
+            seg = h & hist_mask
+            if seg >> 16:
+                seg = (seg ^ (seg >> 16) ^ (seg >> 32) ^ (seg >> 48)) & 0xFFFF
+            idx = (base ^ (seg * 0x9E3779B1) ^ id_term) & mask
+            idxs[i] = idx
+            i += 1
+            total += table[idx]
         prediction = total >= 0
         if prediction != taken:
             self.mispredicts += 1
         if prediction != taken or abs(total) < self.threshold:
             delta = 1 if taken else -1
-            for i, idx in enumerate(indices):
-                w = self._tables[i][idx] + delta
-                self._tables[i][idx] = max(_WEIGHT_MIN, min(_WEIGHT_MAX, w))
-        self._history = ((self._history << 1) | (1 if taken else 0)) \
-            & ((1 << 64) - 1)
+            i = 0
+            for table, _hist_mask, _id_term in self._table_info:
+                idx = idxs[i]
+                i += 1
+                w = table[idx] + delta
+                if w > _WEIGHT_MAX:
+                    w = _WEIGHT_MAX
+                elif w < _WEIGHT_MIN:
+                    w = _WEIGHT_MIN
+                table[idx] = w
+        self._history = ((h << 1) | (1 if taken else 0)) \
+            & 0xFFFFFFFFFFFFFFFF
         return prediction
 
     def note_unconditional(self) -> None:
         """Shift a taken bit into history for unconditional branches."""
-        self._history = ((self._history << 1) | 1) & ((1 << 64) - 1)
+        self._history = ((self._history << 1) | 1) & 0xFFFFFFFFFFFFFFFF

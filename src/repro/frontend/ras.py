@@ -8,6 +8,8 @@ from typing import List, Optional
 class ReturnAddressStack:
     """Circular RAS: overflow overwrites the oldest entry."""
 
+    __slots__ = ("capacity", "_stack", "overflows")
+
     def __init__(self, entries: int = 64) -> None:
         self.capacity = entries
         self._stack: List[int] = []

@@ -30,6 +30,11 @@ class Cache:
     to split the two (e.g. when modelling fill latency).
     """
 
+    __slots__ = ("params", "sets", "ways", "_offset_bits", "_index_mask",
+                 "_tags", "_reused", "policy", "hits", "misses",
+                 "_policy_on_hit", "_policy_note_miss", "_policy_should_admit",
+                 "_policy_victim", "_policy_on_evict", "_policy_on_fill")
+
     def __init__(self, params: CacheParams,
                  policy: Optional[ReplacementPolicy] = None) -> None:
         self.params = params
@@ -45,6 +50,14 @@ class Cache:
         ]
         self.policy = policy or make_policy(params.replacement,
                                             self.sets, self.ways)
+        # Prebound policy hooks: ``touch`` and ``fill`` are the hierarchy's
+        # hottest calls.
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_note_miss = self.policy.note_miss
+        self._policy_should_admit = self.policy.should_admit
+        self._policy_victim = self.policy.victim
+        self._policy_on_evict = self.policy.on_evict
+        self._policy_on_fill = self.policy.on_fill
         self.hits = 0
         self.misses = 0
 
@@ -65,26 +78,26 @@ class Cache:
 
     def touch(self, addr: int) -> bool:
         """Lookup without fill: updates recency and counters."""
-        block = self.block_of(addr)
+        block = addr >> self._offset_bits
         set_idx = block & self._index_mask
         tags = self._tags[set_idx]
         try:
             way = tags.index(block)
         except ValueError:
             self.misses += 1
-            self.policy.note_miss(addr, set_idx)
+            self._policy_note_miss(addr, set_idx)
             return False
         self.hits += 1
         self._reused[set_idx][way] = True
-        self.policy.on_hit(set_idx, way, addr)
+        self._policy_on_hit(set_idx, way, addr)
         return True
 
     def fill(self, addr: int) -> Optional[int]:
         """Install the block containing ``addr``; returns the evicted block
         address (full address of its first byte) or None."""
-        block = self.block_of(addr)
+        block = addr >> self._offset_bits
         set_idx = block & self._index_mask
-        if not self.policy.should_admit(addr, set_idx):
+        if not self._policy_should_admit(addr, set_idx):
             return None
         tags = self._tags[set_idx]
         if block in tags:               # merged fill; nothing to do
@@ -93,15 +106,15 @@ class Cache:
         try:
             way = tags.index(None)
         except ValueError:
-            way = self.policy.victim(set_idx)
+            way = self._policy_victim(set_idx)
             old = tags[way]
             assert old is not None
             evicted = old << self._offset_bits
-            self.policy.on_evict(set_idx, way, evicted,
-                                 self._reused[set_idx][way])
+            self._policy_on_evict(set_idx, way, evicted,
+                                  self._reused[set_idx][way])
         tags[way] = block
         self._reused[set_idx][way] = False
-        self.policy.on_fill(set_idx, way, addr)
+        self._policy_on_fill(set_idx, way, addr)
         return evicted
 
     def access(self, addr: int) -> AccessResult:

@@ -22,9 +22,18 @@ from .replacement import LRUPolicy
 
 WORD = 4
 
+_HIT = MissKind.HIT
+_FULL_MISS = MissKind.FULL_MISS
+
 
 class DistillationICache(InstructionCacheBase):
     """LOC + WOC instruction cache."""
+
+    __slots__ = ("sets", "loc_ways", "woc_words_per_set", "_index_mask",
+                 "policy", "_tags", "_accessed", "_reused", "_woc",
+                 "_woc_clock", "woc_hits", "_resident", "_used_bits",
+                 "_woc_words", "_policy_on_hit", "_policy_note_miss",
+                 "_policy_victim", "_policy_on_evict", "_policy_on_fill")
 
     def __init__(self, sets: int = 64, loc_ways: int = 4,
                  woc_words_per_set: int = 64, latency: int = 4,
@@ -37,6 +46,11 @@ class DistillationICache(InstructionCacheBase):
         self.woc_words_per_set = woc_words_per_set
         self._index_mask = sets - 1
         self.policy = LRUPolicy(sets, loc_ways)
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_note_miss = self.policy.note_miss
+        self._policy_victim = self.policy.victim
+        self._policy_on_evict = self.policy.on_evict
+        self._policy_on_fill = self.policy.on_fill
         self._tags: List[List[Optional[int]]] = [
             [None] * loc_ways for _ in range(sets)
         ]
@@ -50,6 +64,11 @@ class DistillationICache(InstructionCacheBase):
         ]
         self._woc_clock = 0
         self.woc_hits = 0
+        # Incremental storage accounting (O(1) snapshots): resident LOC
+        # lines, their accessed-byte population and total WOC word count.
+        self._resident = 0
+        self._used_bits = 0
+        self._woc_words = 0
 
     # -- lookup -----------------------------------------------------------------
 
@@ -66,32 +85,36 @@ class DistillationICache(InstructionCacheBase):
             raise SimulationError("fetch range crosses a 64B boundary")
         set_idx = block & self._index_mask
         tags = self._tags[set_idx]
-        try:
+        if block in tags:
             way = tags.index(block)
-        except ValueError:
-            way = -1
-        if way >= 0:
             self.hits += 1
             self._reused[set_idx][way] = True
-            self.policy.on_hit(set_idx, way, addr)
-            offset = addr - block_addr
-            mask = ((1 << nbytes) - 1) << offset
-            self._accessed[set_idx][way] |= mask
-            return LookupResult(MissKind.HIT, block_addr)
+            self._policy_on_hit(set_idx, way, addr)
+            masks = self._accessed[set_idx]
+            old = masks[way]
+            new = old | ((1 << nbytes) - 1) << (addr - block_addr)
+            if new != old:
+                masks[way] = new
+                self._used_bits += new.bit_count() - old.bit_count()
+            return LookupResult(_HIT, block_addr)
 
         woc = self._woc[set_idx]
-        keys = [(block, w & 0xF) for w in self._words(addr, nbytes)]
+        first = addr >> 2
+        last = (addr + nbytes - 1) >> 2
+        keys = [(block, w & 0xF) for w in range(first, last + 1)]
         if all(k in woc for k in keys):
             self.hits += 1
             self.woc_hits += 1
+            clock = self._woc_clock
             for k in keys:
-                self._woc_clock += 1
-                woc[k] = self._woc_clock
-            return LookupResult(MissKind.HIT, block_addr)
+                clock += 1
+                woc[k] = clock
+            self._woc_clock = clock
+            return LookupResult(_HIT, block_addr)
 
         self.misses += 1
-        self.policy.note_miss(addr, set_idx)
-        return LookupResult(MissKind.FULL_MISS, block_addr)
+        self._policy_note_miss(addr, set_idx)
+        return LookupResult(_FULL_MISS, block_addr)
 
     # -- fill / distillation ---------------------------------------------------------
 
@@ -104,17 +127,20 @@ class DistillationICache(InstructionCacheBase):
         # Remove any distilled words of this block: the LOC copy supersedes
         # them (avoids double-counting storage).
         woc = self._woc[set_idx]
-        for key in [k for k in woc if k[0] == block]:
+        stale = [k for k in woc if k[0] == block]
+        for key in stale:
             del woc[key]
+        self._woc_words -= len(stale)
         try:
             way = tags.index(None)
         except ValueError:
-            way = self.policy.victim(set_idx)
+            way = self._policy_victim(set_idx)
             self._distill(set_idx, way)
+        self._resident += 1
         tags[way] = block
         self._accessed[set_idx][way] = 0
         self._reused[set_idx][way] = False
-        self.policy.on_fill(set_idx, way, block_addr)
+        self._policy_on_fill(set_idx, way, block_addr)
 
     def _distill(self, set_idx: int, way: int) -> None:
         """Evict a LOC line, moving its accessed words into the WOC."""
@@ -124,12 +150,15 @@ class DistillationICache(InstructionCacheBase):
         accessed = self._accessed[set_idx][way]
         if self.recording:
             self.byte_usage.add(accessed.bit_count())
-        self.policy.on_evict(set_idx, way, block << 6,
-                             self._reused[set_idx][way])
+        self._policy_on_evict(set_idx, way, block << 6,
+                              self._reused[set_idx][way])
         self._tags[set_idx][way] = None
+        self._resident -= 1
+        self._used_bits -= accessed.bit_count()
         if not accessed:
             return
         woc = self._woc[set_idx]
+        before = len(woc)
         for word_idx in range(TRANSFER_BLOCK // WORD):
             word_mask = 0xF << (word_idx * WORD)
             if accessed & word_mask:
@@ -138,6 +167,7 @@ class DistillationICache(InstructionCacheBase):
         while len(woc) > self.woc_words_per_set:
             victim = min(woc, key=woc.__getitem__)
             del woc[victim]
+        self._woc_words += len(woc) - before
 
     # -- probes / snapshots -----------------------------------------------------------
 
@@ -150,22 +180,12 @@ class DistillationICache(InstructionCacheBase):
         return all((block, w & 0xF) in woc for w in self._words(addr, nbytes))
 
     def storage_snapshot(self) -> Tuple[int, int]:
-        used = 0
-        stored = 0
-        for set_idx in range(self.sets):
-            tags = self._tags[set_idx]
-            for way in range(self.loc_ways):
-                if tags[way] is not None:
-                    stored += TRANSFER_BLOCK
-                    used += self._accessed[set_idx][way].bit_count()
-            n_words = len(self._woc[set_idx])
-            stored += n_words * WORD
-            used += n_words * WORD  # distilled words were used by definition
-        return used, stored
+        woc_bytes = self._woc_words * WORD
+        return (self._used_bits + woc_bytes,
+                self._resident * TRANSFER_BLOCK + woc_bytes)
 
     def block_count(self) -> int:
-        blocks = sum(1 for tags in self._tags for t in tags if t is not None)
         woc_blocks = len({
             (s, k[0]) for s in range(self.sets) for k in self._woc[s]
         })
-        return blocks + woc_blocks
+        return self._resident + woc_blocks

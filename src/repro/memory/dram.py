@@ -17,41 +17,64 @@ from ..telemetry.events import DRAM_ROW, NULL_RECORDER
 class DRAM:
     """Open-page DRAM latency model."""
 
+    __slots__ = ("params", "_open_rows", "row_hits", "row_misses",
+                 "_channel_free", "_telemetry", "_tel_enabled",
+                 "_row_size", "_banks", "_row_hit_latency",
+                 "_row_miss_latency", "_bus_cycles")
+
     def __init__(self, params: Optional[DramParams] = None) -> None:
         self.params = params or DramParams()
-        self._open_rows: List[Optional[int]] = [None] * self.params.banks
+        p = self.params
+        self._open_rows: List[Optional[int]] = [None] * p.banks
         self.row_hits = 0
         self.row_misses = 0
         # The channel is busy until this cycle; requests serialise on it.
         self._channel_free = 0
+        # Timing parameters, hoisted out of the per-access hot path.
+        self._row_size = p.row_size
+        self._banks = p.banks
+        self._row_hit_latency = p.row_hit_latency
+        self._row_miss_latency = p.row_miss_latency
+        self._bus_cycles = p.bus_cycles
         self.telemetry = NULL_RECORDER
 
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, recorder) -> None:
+        # ``access`` tests one cached boolean instead of two attribute
+        # loads per call; recorders never flip ``enabled`` after creation.
+        self._telemetry = recorder
+        self._tel_enabled = recorder.enabled
+
     def _bank_and_row(self, addr: int) -> tuple:
-        p = self.params
-        row_addr = addr // p.row_size
-        bank = row_addr % p.banks
-        row = row_addr // p.banks
-        return bank, row
+        row_addr = addr // self._row_size
+        return row_addr % self._banks, row_addr // self._banks
 
     def access(self, addr: int, cycle: int) -> int:
         """Latency (cycles from ``cycle``) to read the block at ``addr``."""
-        p = self.params
-        bank, row = self._bank_and_row(addr)
-        if self._open_rows[bank] == row:
+        row_addr = addr // self._row_size
+        bank = row_addr % self._banks
+        row = row_addr // self._banks
+        open_rows = self._open_rows
+        if open_rows[bank] == row:
             self.row_hits += 1
             hit = True
-            service = p.row_hit_latency
+            service = self._row_hit_latency
         else:
             self.row_misses += 1
             hit = False
-            service = p.row_miss_latency
-            self._open_rows[bank] = row
-        start = max(cycle, self._channel_free)
+            service = self._row_miss_latency
+            open_rows[bank] = row
+        channel_free = self._channel_free
+        start = cycle if cycle >= channel_free else channel_free
         # The data bus is occupied for the burst; subsequent requests queue.
-        self._channel_free = start + p.bus_cycles
-        if self.telemetry.enabled:
-            self.telemetry.emit(DRAM_ROW, cycle, hit=hit, bank=bank,
-                                queued=start - cycle)
+        self._channel_free = start + self._bus_cycles
+        if self._tel_enabled:
+            self._telemetry.emit(DRAM_ROW, cycle, hit=hit, bank=bank,
+                                 queued=start - cycle)
         return (start - cycle) + service
 
     @property

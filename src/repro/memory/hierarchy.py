@@ -24,6 +24,11 @@ from .dram import DRAM
 class MemoryHierarchy:
     """L1-D + L2 + L3 + DRAM with additive latency composition."""
 
+    __slots__ = ("params", "l1d", "l2", "l3", "dram", "instr_fetches",
+                 "_l1d_latency", "_l2_latency", "_l3_latency",
+                 "_l1d_touch", "_l1d_fill", "_l2_touch", "_l2_fill",
+                 "_l3_touch", "_l3_fill", "_dram_access")
+
     def __init__(self, params: Optional[MachineParams] = None) -> None:
         params = params or MachineParams()
         self.params = params
@@ -32,23 +37,33 @@ class MemoryHierarchy:
         self.l3 = Cache(params.l3)
         self.dram = DRAM(params.dram)
         self.instr_fetches = 0
+        # Per-level latencies and entry points, hoisted out of the
+        # per-access hot path.
+        self._l1d_latency = params.l1d.latency
+        self._l2_latency = params.l2.latency
+        self._l3_latency = params.l3.latency
+        self._l1d_touch = self.l1d.touch
+        self._l1d_fill = self.l1d.fill
+        self._l2_touch = self.l2.touch
+        self._l2_fill = self.l2.fill
+        self._l3_touch = self.l3.touch
+        self._l3_fill = self.l3.fill
+        self._dram_access = self.dram.access
 
     # -- shared levels -----------------------------------------------------------
 
     def _below_l1(self, addr: int, cycle: int) -> int:
         """Latency of servicing a block request that missed in an L1."""
-        l2 = self.l2
-        latency = l2.params.latency
-        if l2.touch(addr):
+        latency = self._l2_latency
+        if self._l2_touch(addr):
             return latency
-        l3 = self.l3
-        latency += l3.params.latency
-        if l3.touch(addr):
-            l2.fill(addr)
+        latency += self._l3_latency
+        if self._l3_touch(addr):
+            self._l2_fill(addr)
             return latency
-        latency += self.dram.access(addr, cycle + latency)
-        l3.fill(addr)
-        l2.fill(addr)
+        latency += self._dram_access(addr, cycle + latency)
+        self._l3_fill(addr)
+        self._l2_fill(addr)
         return latency
 
     # -- instruction side ----------------------------------------------------------
@@ -66,9 +81,8 @@ class MemoryHierarchy:
         Stores complete at L1-D fill time from the pipeline's perspective
         (there is a store queue; we charge the L1-D latency only).
         """
-        l1d = self.l1d
-        latency = l1d.params.latency
-        if l1d.touch(addr):
+        latency = self._l1d_latency
+        if self._l1d_touch(addr):
             return latency
         if is_store:
             # Write-allocate in the background; the store retires without
@@ -76,12 +90,12 @@ class MemoryHierarchy:
             self._fill_l1d(addr, cycle)
             return latency
         latency += self._below_l1(addr, cycle + latency)
-        l1d.fill(addr)
+        self._l1d_fill(addr)
         return latency
 
     def _fill_l1d(self, addr: int, cycle: int) -> None:
         self._below_l1(addr, cycle)
-        self.l1d.fill(addr)
+        self._l1d_fill(addr)
 
     def register_metrics(self, registry) -> None:
         """Register every shared level's counters into ``registry``."""

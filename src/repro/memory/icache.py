@@ -55,6 +55,10 @@ class LookupResult:
 class InstructionCacheBase:
     """Interface shared by every L1-I organisation."""
 
+    __slots__ = ("latency", "mshr_entries", "hits", "misses", "recording",
+                 "byte_usage", "touch_distance", "_telemetry",
+                 "_tel_enabled", "now")
+
     def __init__(self, latency: int, mshr_entries: int) -> None:
         self.latency = latency
         self.mshr_entries = mshr_entries
@@ -67,6 +71,17 @@ class InstructionCacheBase:
         # the fill-time cycle stamp it maintains for fill-side events.
         self.telemetry = NULL_RECORDER
         self.now = 0
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, recorder) -> None:
+        # Hot paths test the cached ``_tel_enabled`` boolean instead of two
+        # attribute loads; recorders never flip ``enabled`` after creation.
+        self._telemetry = recorder
+        self._tel_enabled = recorder.enabled
 
     # -- interface -------------------------------------------------------------
 
@@ -124,6 +139,12 @@ class InstructionCacheBase:
 class ConventionalICache(InstructionCacheBase):
     """The baseline fixed-block-size L1-I (32 KB, 8-way, LRU by default)."""
 
+    __slots__ = ("params", "sets", "ways", "_index_mask", "policy",
+                 "track_touch_distance", "_bypass", "_bypass_capacity",
+                 "_tags", "_accessed", "_reused", "_set_misses",
+                 "_insert_miss", "_touch", "_policy_on_hit",
+                 "_policy_note_miss", "_resident", "_used_bits")
+
     def __init__(self, params: Optional[CacheParams] = None,
                  policy: Optional[ReplacementPolicy] = None,
                  track_touch_distance: bool = False) -> None:
@@ -142,7 +163,13 @@ class ConventionalICache(InstructionCacheBase):
         self._index_mask = self.sets - 1
         self.policy = policy or make_policy(params.replacement,
                                             self.sets, self.ways)
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_note_miss = self.policy.note_miss
         self.track_touch_distance = track_touch_distance
+        # Incremental storage accounting so ``storage_snapshot`` (called on
+        # every efficiency sample) is O(1) instead of a full-array walk.
+        self._resident = 0
+        self._used_bits = 0
 
         n = self.sets
         w = self.ways
@@ -180,12 +207,27 @@ class ConventionalICache(InstructionCacheBase):
                 return LookupResult(MissKind.HIT, block_addr)
             self.misses += 1
             self._set_misses[set_idx] += 1
-            self.policy.note_miss(addr, set_idx)
+            self._policy_note_miss(addr, set_idx)
             return LookupResult(MissKind.FULL_MISS, block_addr)
 
         self.hits += 1
-        self.policy.on_hit(set_idx, way, addr)
-        self._mark(set_idx, way, addr - block_addr, nbytes)
+        self._policy_on_hit(set_idx, way, addr)
+        # Inlined _mark(set_idx, way, addr - block_addr, nbytes): the hit
+        # path is the hottest code in a conventional-cache simulation.
+        mask = ((1 << nbytes) - 1) << (addr - block_addr)
+        accessed = self._accessed[set_idx]
+        prev = accessed[way]
+        if mask & prev:
+            self._reused[set_idx][way] = True
+        new_bits = mask & ~prev
+        if new_bits:
+            accessed[way] = prev | mask
+            self._used_bits += new_bits.bit_count()
+            if self.track_touch_distance:
+                delta = (self._set_misses[set_idx]
+                         - self._insert_miss[set_idx][way])
+                bucket = delta if delta < 4 else 4
+                self._touch[set_idx][way][bucket] += new_bits.bit_count()
         return LookupResult(MissKind.HIT, block_addr)
 
     def _mark(self, set_idx: int, way: int, offset: int, nbytes: int) -> None:
@@ -201,6 +243,7 @@ class ConventionalICache(InstructionCacheBase):
         if not new_bits:
             return
         self._accessed[set_idx][way] = prev | mask
+        self._used_bits += new_bits.bit_count()
         if self.track_touch_distance:
             delta = self._set_misses[set_idx] - self._insert_miss[set_idx][way]
             bucket = delta if delta < 4 else 4
@@ -226,6 +269,7 @@ class ConventionalICache(InstructionCacheBase):
             way = self.policy.victim(set_idx)
             self._evict(set_idx, way)
         tags[way] = block
+        self._resident += 1
         self._accessed[set_idx][way] = 0
         self._reused[set_idx][way] = False
         self._insert_miss[set_idx][way] = self._set_misses[set_idx]
@@ -246,6 +290,8 @@ class ConventionalICache(InstructionCacheBase):
         self.policy.on_evict(set_idx, way, old << 6,
                              self._reused[set_idx][way])
         self._tags[set_idx][way] = None
+        self._resident -= 1
+        self._used_bits -= accessed.bit_count()
 
     def invalidate(self, block_addr: int) -> bool:
         block = block_addr >> 6
@@ -266,16 +312,7 @@ class ConventionalICache(InstructionCacheBase):
         return block in self._tags[block & self._index_mask]
 
     def storage_snapshot(self) -> Tuple[int, int]:
-        used = 0
-        stored = 0
-        for set_idx in range(self.sets):
-            tags = self._tags[set_idx]
-            accessed = self._accessed[set_idx]
-            for way in range(self.ways):
-                if tags[way] is not None:
-                    stored += TRANSFER_BLOCK
-                    used += accessed[way].bit_count()
-        return used, stored
+        return self._used_bits, self._resident * TRANSFER_BLOCK
 
     def block_count(self) -> int:
         return sum(1 for tags in self._tags for t in tags if t is not None)

@@ -3,11 +3,18 @@
 An MSHR file bounds the number of outstanding misses and merges requests to
 a block that is already in flight. Entries are keyed by 64-byte block
 address and store the cycle at which the fill completes.
+
+Expiry is driven by a min-heap of ``(fill_cycle, block)`` records paired
+with the live ``block -> fill_cycle`` dict, so the common "nothing due"
+check in :meth:`full` is a single heap-top comparison instead of a scan.
+Heap records whose block was already retired elsewhere (e.g. by
+:meth:`lookup`) are stale and skipped via the dict cross-check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SimulationError
 
@@ -15,11 +22,14 @@ from ..errors import ConfigurationError, SimulationError
 class MSHRFile:
     """A small fully-associative MSHR file."""
 
+    __slots__ = ("capacity", "_inflight", "_expiry", "merges", "allocations")
+
     def __init__(self, entries: int) -> None:
         if entries <= 0:
             raise ConfigurationError("MSHR file needs at least one entry")
         self.capacity = entries
         self._inflight: Dict[int, int] = {}   # block addr -> fill cycle
+        self._expiry: List[Tuple[int, int]] = []  # (fill cycle, block addr)
         self.merges = 0
         self.allocations = 0
 
@@ -28,46 +38,60 @@ class MSHRFile:
 
     def expire(self, cycle: int) -> None:
         """Retire every entry whose fill has completed by ``cycle``."""
-        if not self._inflight:
-            return
-        done = [blk for blk, fill in self._inflight.items() if fill <= cycle]
-        for blk in done:
-            del self._inflight[blk]
+        heap = self._expiry
+        inflight = self._inflight
+        while heap and heap[0][0] <= cycle:
+            fill, blk = heappop(heap)
+            if inflight.get(blk) == fill:
+                del inflight[blk]
 
     def full(self, cycle: int) -> bool:
         """True when no entry can be allocated at ``cycle``."""
-        self.expire(cycle)
+        heap = self._expiry
+        if heap and heap[0][0] <= cycle:
+            self.expire(cycle)
         return len(self._inflight) >= self.capacity
 
     def lookup(self, block_addr: int, cycle: int) -> Optional[int]:
         """Fill cycle of an in-flight request for ``block_addr``, if any."""
         fill = self._inflight.get(block_addr)
-        if fill is not None and fill <= cycle:
+        if fill is None:
+            return None
+        if fill <= cycle:
+            # Retired here; its heap record goes stale and is skipped later.
             del self._inflight[block_addr]
             return None
-        if fill is not None:
-            self.merges += 1
+        self.merges += 1
         return fill
 
     def allocate(self, block_addr: int, fill_cycle: int, cycle: int) -> None:
         """Track a new outstanding miss."""
         self.expire(cycle)
-        if block_addr in self._inflight:
+        inflight = self._inflight
+        if block_addr in inflight:
             raise SimulationError(
                 f"MSHR double allocation for block {block_addr:#x}"
             )
-        if len(self._inflight) >= self.capacity:
+        if len(inflight) >= self.capacity:
             raise SimulationError("MSHR allocation while file is full")
-        self._inflight[block_addr] = fill_cycle
+        inflight[block_addr] = fill_cycle
+        heappush(self._expiry, (fill_cycle, block_addr))
         self.allocations += 1
 
     def earliest_completion(self) -> Optional[int]:
         """Cycle at which the next outstanding fill lands (None if idle)."""
-        if not self._inflight:
+        inflight = self._inflight
+        if not inflight:
             return None
-        return min(self._inflight.values())
+        heap = self._expiry
+        # Drop stale records; every live entry has one, so the loop ends on
+        # the smallest live fill cycle.
+        while inflight.get(heap[0][1]) != heap[0][0]:
+            heappop(heap)
+        return heap[0][0]
 
     def reset(self) -> None:
         self._inflight.clear()
+        self._expiry.clear()
         self.merges = 0
         self.allocations = 0

@@ -21,6 +21,8 @@ class ReplacementPolicy:
     block address, available for history-based policies.
     """
 
+    __slots__ = ("sets", "ways")
+
     def __init__(self, sets: int, ways: int) -> None:
         if sets <= 0 or ways <= 0:
             raise ConfigurationError("sets and ways must be positive")
@@ -55,6 +57,8 @@ class ReplacementPolicy:
 class LRUPolicy(ReplacementPolicy):
     """Classic least-recently-used via monotonic timestamps."""
 
+    __slots__ = ("_clock", "_stamp")
+
     def __init__(self, sets: int, ways: int) -> None:
         super().__init__(sets, ways)
         self._clock = 0
@@ -65,20 +69,27 @@ class LRUPolicy(ReplacementPolicy):
         self._stamp[set_idx][way] = self._clock
 
     def on_hit(self, set_idx: int, way: int, addr: int) -> None:
-        self._touch(set_idx, way)
+        clock = self._clock + 1
+        self._clock = clock
+        self._stamp[set_idx][way] = clock
 
     def on_fill(self, set_idx: int, way: int, addr: int) -> None:
-        self._touch(set_idx, way)
+        clock = self._clock + 1
+        self._clock = clock
+        self._stamp[set_idx][way] = clock
 
     def victim(self, set_idx: int,
                candidates: Optional[Sequence[int]] = None) -> int:
         stamps = self._stamp[set_idx]
-        pool = range(self.ways) if candidates is None else candidates
-        return min(pool, key=stamps.__getitem__)
+        if candidates is None:
+            return stamps.index(min(stamps))
+        return min(candidates, key=stamps.__getitem__)
 
 
 class FIFOPolicy(ReplacementPolicy):
     """First-in-first-out: fill order only, hits do not refresh."""
+
+    __slots__ = ("_clock", "_stamp")
 
     def __init__(self, sets: int, ways: int) -> None:
         super().__init__(sets, ways)

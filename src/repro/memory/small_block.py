@@ -17,9 +17,18 @@ from ..params import TRANSFER_BLOCK
 from .icache import InstructionCacheBase, LookupResult, MissKind
 from .replacement import LRUPolicy
 
+_HIT = MissKind.HIT
+_FULL_MISS = MissKind.FULL_MISS
+
 
 class SmallBlockICache(InstructionCacheBase):
     """L1-I with sub-64B blocks plus a 64B fill buffer."""
+
+    __slots__ = ("size", "ways", "block_size", "sets", "_offset_bits",
+                 "_index_mask", "policy", "_tags", "_accessed", "_reused",
+                 "_buffer", "_buffer_capacity", "buffer_hits", "_resident",
+                 "_policy_on_hit", "_policy_note_miss", "_policy_victim",
+                 "_policy_on_evict", "_policy_on_fill")
 
     def __init__(self, size: int = 32 * 1024, ways: int = 8,
                  block_size: int = 16, latency: int = 4,
@@ -38,6 +47,11 @@ class SmallBlockICache(InstructionCacheBase):
         self._offset_bits = block_size.bit_length() - 1
         self._index_mask = self.sets - 1
         self.policy = LRUPolicy(self.sets, self.ways)
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_note_miss = self.policy.note_miss
+        self._policy_victim = self.policy.victim
+        self._policy_on_evict = self.policy.on_evict
+        self._policy_on_fill = self.policy.on_fill
         self._tags: List[List[Optional[int]]] = [
             [None] * ways for _ in range(self.sets)
         ]
@@ -45,6 +59,10 @@ class SmallBlockICache(InstructionCacheBase):
         self._reused: List[List[bool]] = [
             [False] * ways for _ in range(self.sets)
         ]
+        # Resident small-block count; once installed a way's accessed mask
+        # is always the full block mask, so the storage snapshot reduces to
+        # ``resident * block_size`` for both fields.
+        self._resident = 0
         # FIFO buffer of whole 64-byte blocks awaiting chunk promotion.
         self._buffer: "OrderedDict[int, bool]" = OrderedDict()
         self._buffer_capacity = buffer_entries
@@ -54,7 +72,6 @@ class SmallBlockICache(InstructionCacheBase):
 
     def _chunks(self, addr: int, nbytes: int):
         """Small blocks covered by the byte range."""
-        bs = self.block_size
         first = addr >> self._offset_bits
         last = (addr + nbytes - 1) >> self._offset_bits
         for sb in range(first, last + 1):
@@ -74,21 +91,32 @@ class SmallBlockICache(InstructionCacheBase):
         block_addr = (addr >> 6) << 6
         if (addr + nbytes - 1) >> 6 != addr >> 6:
             raise SimulationError("fetch range crosses a 64B boundary")
+        offset_bits = self._offset_bits
+        index_mask = self._index_mask
+        all_tags = self._tags
         missing = []
         present = []
-        for sb in self._chunks(addr, nbytes):
-            set_idx, way = self._find(sb)
-            if way < 0:
+        first = addr >> offset_bits
+        last = (addr + nbytes - 1) >> offset_bits
+        for sb in range(first, last + 1):
+            set_idx = sb & index_mask
+            try:
+                way = all_tags[set_idx].index(sb)
+            except ValueError:
                 missing.append(sb)
             else:
                 present.append((sb, set_idx, way))
         if not missing:
             self.hits += 1
+            full_mask = (1 << self.block_size) - 1
+            on_hit = self._policy_on_hit
+            reused = self._reused
+            accessed = self._accessed
             for sb, set_idx, way in present:
-                self._reused[set_idx][way] = True
-                self.policy.on_hit(set_idx, way, sb << self._offset_bits)
-                self._accessed[set_idx][way] = (1 << self.block_size) - 1
-            return LookupResult(MissKind.HIT, block_addr)
+                reused[set_idx][way] = True
+                on_hit(set_idx, way, sb << offset_bits)
+                accessed[set_idx][way] = full_mask
+            return LookupResult(_HIT, block_addr)
 
         if block_addr >> 6 in self._buffer:
             # Promote only the requested chunks out of the 64B buffer entry.
@@ -96,16 +124,18 @@ class SmallBlockICache(InstructionCacheBase):
             self.hits += 1
             for sb in missing:
                 self._install_chunk(sb)
+            on_hit = self._policy_on_hit
+            reused = self._reused
             for sb, set_idx, way in present:
-                self._reused[set_idx][way] = True
-                self.policy.on_hit(set_idx, way, sb << self._offset_bits)
-            return LookupResult(MissKind.HIT, block_addr)
+                reused[set_idx][way] = True
+                on_hit(set_idx, way, sb << offset_bits)
+            return LookupResult(_HIT, block_addr)
 
         self.misses += 1
+        note_miss = self._policy_note_miss
         for sb in missing:
-            self.policy.note_miss(sb << self._offset_bits,
-                                  sb & self._index_mask)
-        return LookupResult(MissKind.FULL_MISS, block_addr)
+            note_miss(sb << offset_bits, sb & index_mask)
+        return LookupResult(_FULL_MISS, block_addr)
 
     def _install_chunk(self, small_block: int) -> None:
         set_idx = small_block & self._index_mask
@@ -115,7 +145,7 @@ class SmallBlockICache(InstructionCacheBase):
         try:
             way = tags.index(None)
         except ValueError:
-            way = self.policy.victim(set_idx)
+            way = self._policy_victim(set_idx)
             old = tags[way]
             if old is not None and self.recording:
                 # Byte-usage accounting at the small-block granularity.
@@ -124,12 +154,15 @@ class SmallBlockICache(InstructionCacheBase):
                         self.byte_usage.block_size)
                 )
             if old is not None:
-                self.policy.on_evict(set_idx, way, old << self._offset_bits,
-                                     self._reused[set_idx][way])
+                self._policy_on_evict(set_idx, way,
+                                      old << self._offset_bits,
+                                      self._reused[set_idx][way])
+        else:
+            self._resident += 1
         tags[way] = small_block
         self._accessed[set_idx][way] = (1 << self.block_size) - 1
         self._reused[set_idx][way] = False
-        self.policy.on_fill(set_idx, way, small_block << self._offset_bits)
+        self._policy_on_fill(set_idx, way, small_block << self._offset_bits)
 
     def fill(self, block_addr: int, prefetch: bool = False) -> None:
         """A 64-byte block arrived from L2: it goes to the fill buffer."""
@@ -144,15 +177,8 @@ class SmallBlockICache(InstructionCacheBase):
         return all(self._find(sb)[1] >= 0 for sb in self._chunks(addr, nbytes))
 
     def storage_snapshot(self) -> Tuple[int, int]:
-        used = 0
-        stored = 0
-        for set_idx in range(self.sets):
-            for way in range(self.ways):
-                if self._tags[set_idx][way] is not None:
-                    stored += self.block_size
-                    used += min(self._accessed[set_idx][way].bit_count(),
-                                self.block_size)
-        return used, stored
+        stored = self._resident * self.block_size
+        return stored, stored
 
     def block_count(self) -> int:
-        return sum(1 for tags in self._tags for t in tags if t is not None)
+        return self._resident

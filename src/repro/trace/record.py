@@ -34,6 +34,10 @@ _BRANCH_KINDS = frozenset(
 )
 _MEMORY_KINDS = frozenset((InstrKind.LOAD, InstrKind.STORE))
 
+#: ``IS_BRANCH[kind]`` — branch test as a tuple index, for hot loops that
+#: cannot afford the ``is_branch`` property + frozenset-membership cost.
+IS_BRANCH = tuple(kind in _BRANCH_KINDS for kind in InstrKind)
+
 #: Execution latency (cycles) per instruction kind for the back-end model.
 #: Loads are timed through the data-cache hierarchy instead.
 EXEC_LATENCY = {

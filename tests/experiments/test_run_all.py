@@ -1,6 +1,10 @@
-"""Tests of the cache prefill CLI's pair enumeration."""
+"""Tests of the cache prefill CLI's pair enumeration and fill paths."""
 
-from repro.experiments.run_all import all_pairs
+import json
+
+import repro.experiments.run_all as run_all_mod
+import repro.experiments.runner as runner_mod
+from repro.experiments.run_all import all_pairs, main
 
 
 class TestAllPairs:
@@ -36,3 +40,34 @@ class TestAllPairs:
         from repro.cpu.machine import build_icache
         for _w, config in all_pairs():
             build_icache(config)  # raises on unknown names
+
+
+class TestFill:
+    """Serial and process-pool fills must produce identical caches."""
+
+    PAIRS = [("client_000", "conv32"), ("client_000", "ubs"),
+             ("client_001", "conv32"), ("client_001", "ubs")]
+
+    def _fill(self, tmp_path, monkeypatch, name, argv):
+        cache_dir = tmp_path / name
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.setattr(runner_mod, "_default_cache", None)
+        monkeypatch.setattr(run_all_mod, "all_pairs", lambda: self.PAIRS)
+        assert main(argv) == 0
+        results = {}
+        for path in sorted((cache_dir / "results").glob("*.json")):
+            with open(path) as fh:
+                data = json.load(fh)
+            for key in ("sim_wall_seconds", "sim_cycles_per_sec",
+                        "sim_instrs_per_sec"):
+                data.get("extra", {}).pop(key, None)
+            results[path.name] = data
+        return results
+
+    def test_parallel_fill_matches_serial(self, tmp_path, monkeypatch):
+        serial = self._fill(tmp_path, monkeypatch, "serial", [])
+        parallel = self._fill(tmp_path, monkeypatch, "parallel",
+                              ["--jobs", "2"])
+        assert len(serial) == len(self.PAIRS)
+        assert parallel == serial

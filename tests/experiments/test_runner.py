@@ -35,6 +35,29 @@ class TestCache:
         r2 = run_pair("client_000", "conv32")
         assert r2.cycles == r.cycles
 
+    def test_truncated_cache_entry_warns_and_deletes(self, isolated_cache,
+                                                     caplog):
+        import logging
+        r = run_pair("client_000", "conv32")
+        path = isolated_cache._result_path("client_000", "conv32")
+        # Simulate a crash mid-write: keep only a prefix of the JSON.
+        path.write_text(path.read_text()[:40])
+        with caplog.at_level(logging.WARNING, "repro.experiments.runner"):
+            assert isolated_cache.load("client_000", "conv32") is None
+        assert any("corrupt result cache entry" in rec.getMessage()
+                   for rec in caplog.records)
+        assert not path.exists()
+        r2 = run_pair("client_000", "conv32")
+        assert r2.cycles == r.cycles
+
+    def test_cache_dir_env_read_lazily(self, tmp_path, monkeypatch):
+        # REPRO_CACHE_DIR must take effect for caches created after the
+        # module was imported, not be frozen at import time.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "redirected"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "redirected"
+        assert (tmp_path / "redirected" / "results").is_dir()
+
     def test_trace_cache_reused(self, isolated_cache):
         from repro.trace.workloads import get_workload
         wl = get_workload("client_000")

@@ -1,0 +1,65 @@
+"""Documentation checks: doctests in the markdown guides, link integrity.
+
+Every fenced ``python`` block containing ``>>>`` prompts in ``docs/*.md``
+and ``README.md`` is executed as a doctest, so the snippets cannot drift
+from the code. Relative markdown links must resolve to files in the
+repository.
+"""
+
+import doctest
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doctest_blocks(path):
+    text = path.read_text()
+    return [block for block in _FENCE.findall(text) if ">>>" in block]
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_snippets_run(path):
+    blocks = _doctest_blocks(path)
+    if not blocks:
+        pytest.skip("no doctest snippets")
+    # Snippets may set env vars (e.g. REPRO_SCALE); keep that from
+    # leaking into other tests in this process.
+    saved_env = dict(os.environ)
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS,
+                                   verbose=False)
+    parser = doctest.DocTestParser()
+    globs = {}  # shared across a file's blocks, like a reading session
+    try:
+        for i, block in enumerate(blocks):
+            test = parser.get_doctest(block, globs, f"{path.name}[{i}]",
+                                      str(path), 0)
+            runner.run(test)
+            globs = test.globs
+    finally:
+        os.environ.clear()
+        os.environ.update(saved_env)
+    assert runner.failures == 0, \
+        f"{runner.failures} doctest failure(s) in {path.name}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    text = path.read_text()
+    # Strip fenced code blocks: link syntax inside code is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not (path.parent / rel).exists():
+            broken.append(target)
+    assert not broken, f"broken links in {path.name}: {broken}"

@@ -1,0 +1,82 @@
+"""Golden-parity guard for simulator optimizations.
+
+Hot-path optimizations (locals hoisting, cached-way lookups, telemetry
+gating) must never change simulation semantics: ``SimResult.to_dict()``
+has to stay bit-identical for the same workload, configuration and
+``REPRO_SCALE``. The golden files under ``tests/golden/parity/`` were
+recorded before the optimization pass of PR 3; this test re-simulates
+each pinned (workload, config) pair and compares the full result dict —
+counters, efficiency summary and extras — key for key.
+
+Regenerate the goldens (only after an *intentional* semantics change,
+together with a ``RESULTS_VERSION`` bump) with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_parity.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.machine import Machine, build_icache
+from repro.trace.workloads import get_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "parity"
+
+#: The pinned scale every golden was recorded at.
+GOLDEN_SCALE = "0.05"
+
+#: One workload per family x the two headline configurations.
+GOLDEN_PAIRS = [
+    ("server_000", "conv32"),
+    ("server_000", "ubs"),
+    ("client_000", "conv32"),
+    ("client_000", "ubs"),
+    ("spec_000", "conv32"),
+    ("spec_000", "ubs"),
+    ("google_000", "conv32"),
+    ("google_000", "ubs"),
+]
+
+
+def _golden_path(workload: str, config: str) -> Path:
+    return GOLDEN_DIR / f"{workload}__{config}__s{GOLDEN_SCALE}.json"
+
+
+def _simulate(workload: str, config: str) -> dict:
+    wl = get_workload(workload)
+    trace = wl.generate()
+    warmup, measure = wl.windows()
+    machine = Machine(trace, build_icache(config))
+    result = machine.run(warmup, measure)
+    result.workload = workload
+    result.config = config
+    return result.to_dict()
+
+
+@pytest.fixture(autouse=True)
+def pinned_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", GOLDEN_SCALE)
+
+
+@pytest.mark.parametrize("workload,config", GOLDEN_PAIRS)
+def test_bit_identical_to_golden(workload, config):
+    path = _golden_path(workload, config)
+    produced = _simulate(workload, config)
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(produced, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"golden updated: {path.name}")
+    assert path.exists(), (
+        f"missing golden {path.name}; run with REPRO_UPDATE_GOLDENS=1"
+    )
+    golden = json.loads(path.read_text())
+    assert produced == golden, (
+        f"{workload}/{config} drifted from its pre-optimization golden — "
+        "simulation semantics changed (if intentional, bump RESULTS_VERSION "
+        "and regenerate with REPRO_UPDATE_GOLDENS=1)"
+    )

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Performance gate: measure simulator throughput and fail on regressions.
+
+Times a pinned set of (workload, L1-I configuration) pairs with the real
+:class:`~repro.cpu.machine.Machine` (no result cache, traces generated
+in-process and reused across configurations and repeats), then writes a
+``BENCH_<date>.json`` snapshot and compares it against a baseline:
+
+* the file given with ``--baseline``, or
+* the newest other ``BENCH_*.json`` at the repo root, or
+* ``benchmarks/perf/baseline.json`` (the frozen pre-optimization
+  baseline recorded before PR 3's hot-path work).
+
+The headline metric is the geometric mean of simulated cycles per host
+second across all pairs. The gate fails (exit 1) when that geomean drops
+below ``(1 - tolerance)`` times the baseline's; it reports — but never
+fails on — speedups.
+
+Usage::
+
+    python tools/perfgate.py --smoke              # quick pinned smoke set
+    python tools/perfgate.py                      # full pinned suite
+    python tools/perfgate.py --smoke --tolerance 0.5   # lenient (CI)
+    python tools/perfgate.py --smoke --out /tmp/bench.json --no-compare
+
+Results depend on the host, so committed BENCH files are a trajectory of
+one reference machine; CI should use a generous ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import math
+import os
+import platform
+import resource
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Every pinned pair runs at this REPRO_SCALE (overrides the environment
+#: so a stray setting cannot skew the trajectory).
+PINNED_SCALE = "0.25"
+
+#: The quick gate: one front-end-bound server workload, both headline
+#: configurations.
+SMOKE_PAIRS: List[Tuple[str, str]] = [
+    ("server_000", "conv32"),
+    ("server_000", "ubs"),
+]
+
+#: The full gate adds a loopy SPEC-like workload and the main baselines.
+FULL_PAIRS: List[Tuple[str, str]] = SMOKE_PAIRS + [
+    ("server_000", "small16"),
+    ("server_000", "distill32"),
+    ("spec_000", "conv32"),
+    ("spec_000", "ubs"),
+]
+
+SCHEMA_VERSION = 1
+
+
+def _measure_pair(workload_name: str, config: str, trace,
+                  repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` timing of one (workload, config) simulation."""
+    from repro.cpu.machine import Machine, build_icache
+    from repro.trace.workloads import get_workload
+
+    wl = get_workload(workload_name)
+    warmup, measure = wl.windows()
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        machine = Machine(trace, build_icache(config))
+        t0 = perf_counter()
+        result = machine.run(warmup, measure)
+        wall = perf_counter() - t0
+        sample = {
+            "workload": workload_name,
+            "config": config,
+            "instructions": warmup + measure,
+            "sim_cycles": machine.cycle,
+            "result_cycles": result.cycles,
+            "wall_seconds": round(wall, 6),
+            "cycles_per_sec": round(machine.cycle / wall, 1),
+            "instrs_per_sec": round((warmup + measure) / wall, 1),
+        }
+        if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
+    """Time every pair; traces are generated once per workload."""
+    from repro.trace.workloads import get_workload
+
+    traces: Dict[str, list] = {}
+    results: List[Dict[str, float]] = []
+    for workload_name, config in pairs:
+        if workload_name not in traces:
+            traces[workload_name] = get_workload(workload_name).generate()
+        print(f"  timing {workload_name} x {config} ...",
+              end=" ", flush=True)
+        sample = _measure_pair(workload_name, config,
+                               traces[workload_name], repeats)
+        print(f"{sample['cycles_per_sec']:,.0f} cycles/s "
+              f"({sample['wall_seconds']:.3f}s)")
+        results.append(sample)
+
+    rates = [r["cycles_per_sec"] for r in results]
+    geomean = math.exp(sum(math.log(r) for r in rates) / len(rates))
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "date": datetime.date.today().isoformat(),
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "repro_scale": float(PINNED_SCALE),
+        "repeats": repeats,
+        "peak_rss_kb": peak_rss_kb,
+        "results": results,
+        "geomean_cycles_per_sec": round(geomean, 1),
+    }
+
+
+def find_baseline(out_path: Path, explicit: Optional[str]) -> Optional[Path]:
+    if explicit:
+        return Path(explicit)
+    benches = sorted(
+        p for p in REPO_ROOT.glob("BENCH_*.json") if p != out_path
+    )
+    if benches:
+        return benches[-1]
+    frozen = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
+    return frozen if frozen.exists() else None
+
+
+def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
+    """Print the per-pair and aggregate deltas; return the exit code."""
+    base_by_pair = {
+        (r["workload"], r["config"]): r for r in baseline["results"]
+    }
+    print("\nvs baseline "
+          f"({baseline.get('date', '?')}, "
+          f"geomean {baseline['geomean_cycles_per_sec']:,.0f} cycles/s):")
+    for r in current["results"]:
+        b = base_by_pair.get((r["workload"], r["config"]))
+        if b is None:
+            print(f"  {r['workload']} x {r['config']}: (new pair)")
+            continue
+        ratio = r["cycles_per_sec"] / b["cycles_per_sec"]
+        print(f"  {r['workload']} x {r['config']}: {ratio:.2f}x "
+              f"({b['cycles_per_sec']:,.0f} -> "
+              f"{r['cycles_per_sec']:,.0f} cycles/s)")
+    ratio = (current["geomean_cycles_per_sec"]
+             / baseline["geomean_cycles_per_sec"])
+    print(f"  geomean: {ratio:.2f}x")
+    if ratio < 1.0 - tolerance:
+        print(f"PERF GATE FAILED: geomean regressed to {ratio:.2f}x "
+              f"(tolerance {tolerance:.0%})")
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the quick pinned smoke pairs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per pair (best is kept)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional geomean regression")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON (default: BENCH_<date>.json "
+                             "at the repo root)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="measure and write only; skip the gate")
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_SCALE"] = PINNED_SCALE
+    pairs = SMOKE_PAIRS if args.smoke else FULL_PAIRS
+    label = "smoke" if args.smoke else "full"
+    print(f"perfgate: {label} suite, {len(pairs)} pairs, "
+          f"REPRO_SCALE={PINNED_SCALE}, best of {args.repeats}")
+    report = run_suite(pairs, args.repeats)
+    report["suite"] = label
+
+    out_path = args.out
+    if out_path is None:
+        out_path = REPO_ROOT / f"BENCH_{report['date']}.json"
+    out_path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"\ngeomean {report['geomean_cycles_per_sec']:,.0f} cycles/s, "
+          f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MB")
+    print(f"wrote {out_path}")
+
+    if args.no_compare:
+        return 0
+    baseline_path = find_baseline(out_path, args.baseline)
+    if baseline_path is None:
+        print("no baseline found; gate skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    print(f"baseline: {baseline_path}")
+    return compare(report, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
