@@ -19,6 +19,10 @@ from ..trace.record import EXEC_LATENCY, Instruction, InstrKind
 
 _LOAD = InstrKind.LOAD
 _STORE = InstrKind.STORE
+#: Plain-int kind codes for the columnar delivery path (column reads
+#: yield ints, not InstrKind members).
+_LOAD_I = int(InstrKind.LOAD)
+_STORE_I = int(InstrKind.STORE)
 
 
 class Backend:
@@ -182,6 +186,85 @@ class Backend:
                 complete = ready + exec_latency[kind]
 
             dst = instr.dst
+            if dst >= 0:
+                reg_ready[dst & 63] = complete
+
+            if complete > last_commit:
+                commit = complete
+                commits_this_cycle = 1
+            else:
+                commit = last_commit
+                if commits_this_cycle >= commit_width:
+                    commit += 1
+                    commits_this_cycle = 1
+                else:
+                    commits_this_cycle += 1
+            last_commit = commit
+            ring[slot] = commit
+            count += 1
+
+        self._count = count
+        self._last_commit = last_commit
+        self._commits_this_cycle = commits_this_cycle
+        self.loads = loads
+        self.stores = stores
+        return complete, commit
+
+    def accept_range_arrays(self, trace, base: int, n: int,
+                            fetch_cycle: int) -> Tuple[int, int]:
+        """:meth:`accept_range` for a columnar
+        :class:`~repro.trace.arrays.ArrayTrace`: reads the kind/register/
+        address columns directly, so the delivery hot path never builds
+        ``Instruction`` objects. Timing is identical to ``n`` ``accept``
+        calls on the object view of the same trace."""
+        kinds = trace.kind
+        src1s = trace.src1
+        src2s = trace.src2
+        dsts = trace.dst
+        mems = trace.mem_addr
+
+        count = self._count
+        rob = self._rob
+        ring = self._ring
+        reg_ready = self._reg_ready
+        exec_latency = self._exec_latency
+        data_access = self._data_access
+        commit_width = self._commit_width
+        last_commit = self._last_commit
+        commits_this_cycle = self._commits_this_cycle
+        loads = self.loads
+        stores = self.stores
+        base_dispatch = fetch_cycle + self._decode_latency
+        complete = 0
+        commit = last_commit
+        for i in range(base, base + n):
+            slot = count % rob
+            dispatch = base_dispatch
+            if count >= rob:
+                slot_free = ring[slot]
+                if slot_free > dispatch:
+                    dispatch = slot_free
+
+            ready = dispatch
+            src1 = src1s[i]
+            if src1 >= 0 and reg_ready[src1 & 63] > ready:
+                ready = reg_ready[src1 & 63]
+            src2 = src2s[i]
+            if src2 >= 0 and reg_ready[src2 & 63] > ready:
+                ready = reg_ready[src2 & 63]
+
+            kind = kinds[i]
+            if kind == _LOAD_I:
+                loads += 1
+                complete = ready + data_access(mems[i], ready)
+            elif kind == _STORE_I:
+                stores += 1
+                data_access(mems[i], ready, is_store=True)
+                complete = ready + 1
+            else:
+                complete = ready + exec_latency[kind]
+
+            dst = dsts[i]
             if dst >= 0:
                 reg_ready[dst & 63] = complete
 

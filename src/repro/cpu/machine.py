@@ -49,6 +49,7 @@ from ..telemetry import (
 )
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.profiler import ProfileReport
+from ..trace.arrays import ArrayTrace
 from ..trace.record import Instruction
 from ..core.configs import ubs_params_for_budget, way_config
 from ..core.predictor import PredictorConfig
@@ -264,7 +265,15 @@ class Machine:
         run_fdip = self._make_run_fdip()
         maybe_skip = self._maybe_skip
         lookup = icache.lookup
-        accept = self.backend.accept_range
+        # Columnar traces deliver through the array-reading back-end entry
+        # point (no Instruction objects on the hot path); both paths are
+        # bit-identical (tests/test_golden_parity.py).
+        if isinstance(self.trace, ArrayTrace):
+            accept = self.backend.accept_range_arrays
+            pc_col = self.trace.pc
+        else:
+            accept = self.backend.accept_range
+            pc_col = None
         if prof is not None:
             process_fills = prof.wrap("fills", process_fills)
             run_bpu = prof.wrap("bpu", run_bpu)
@@ -472,7 +481,10 @@ class Machine:
                     blocked_until = resume
                     blocked_kind = _STALL_RESTEER
                     # Attribute the resteer stall to the causing branch.
-                    self._stall_pc = trace[cur.first_index + n_ends - 1].pc
+                    if pc_col is not None:
+                        self._stall_pc = pc_col[cur.first_index + n_ends - 1]
+                    else:
+                        self._stall_pc = trace[cur.first_index + n_ends - 1].pc
                 cur = None
 
             if measuring and sample_efficiency and cycle >= next_sample:

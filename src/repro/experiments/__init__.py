@@ -6,6 +6,8 @@ only ever simulates each (workload, configuration) pair once.
 """
 
 from .runner import ResultCache, run_config, run_pair, sweep
+from .pool import SweepEngine, run_pairs
 from . import report
 
-__all__ = ["ResultCache", "report", "run_config", "run_pair", "sweep"]
+__all__ = ["ResultCache", "SweepEngine", "report", "run_config",
+           "run_pair", "run_pairs", "sweep"]

@@ -2,25 +2,30 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--list] [--jobs N]
+    python -m repro.experiments.run_all [--list] [--jobs N] [--pairs REGEX]
 
-Runs every (workload, configuration) pair any benchmark needs, reusing
-the on-disk cache; safe to interrupt and resume. Pairs are grouped by
-workload so each trace is generated/loaded once per group. With
-``--jobs N`` the workload groups are simulated in N worker processes
-(results land in the same on-disk cache; simulation is deterministic so
-the parallel and serial fills are identical).
+Runs every (workload, configuration) pair any benchmark needs through the
+pair-granular sweep engine (:mod:`repro.experiments.pool`), reusing the
+on-disk cache; safe to interrupt and resume. With ``--jobs N`` pairs are
+dynamically scheduled onto N worker processes with shared-memory trace
+fan-out; simulation is deterministic, so parallel and serial fills
+produce identical caches. ``--pairs REGEX`` restricts the fill to pairs
+whose ``workload::config`` key matches (e.g. ``--pairs 'server.*::ubs'``
+or ``--pairs '::conv'`` for every conventional configuration).
 """
 
 from __future__ import annotations
 
+import argparse
+import re
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from ..trace.workloads import WorkloadFamily, get_workload, workload_names
+from ..trace.workloads import WorkloadFamily, workload_names
+from .pool import SweepEngine, estimate_key
 from .report import perf_workloads
-from .runner import default_cache, run_pair
+from .runner import default_cache
 
 
 def all_pairs() -> List[Tuple[str, str]]:
@@ -69,59 +74,60 @@ def all_pairs() -> List[Tuple[str, str]]:
     return pairs
 
 
-def _fill_group(workload: str, configs: List[str]) -> int:
-    """Worker: simulate one workload's missing configurations."""
-    cache = default_cache()
-    trace = cache.trace_for(get_workload(workload))
-    for config in configs:
-        run_pair(workload, config, trace=trace)
-    return len(configs)
+def _regex(text: str) -> "re.Pattern[str]":
+    try:
+        return re.compile(text)
+    except re.error as exc:    # argparse only converts ValueError/TypeError
+        raise argparse.ArgumentTypeError(f"invalid regex {text!r}: {exc}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="Prefill the simulation result cache for every "
+                    "benchmark (resumable; results are cached on disk).",
+        allow_abbrev=False)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep engine (default: 1, inline)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the selected (workload, config) pairs and exit")
+    parser.add_argument(
+        "--pairs", type=_regex, default=None, metavar="REGEX",
+        help="only fill pairs whose 'workload::config' key matches "
+             "(re.search), e.g. 'server.*::ubs'")
+    return parser
 
 
 def main(argv: List[str]) -> int:
+    opts = build_parser().parse_args(argv)
     pairs = all_pairs()
-    if "--list" in argv:
+    if opts.pairs is not None:
+        pairs = [(w, c) for w, c in pairs
+                 if opts.pairs.search(estimate_key(w, c))]
+    if opts.list:
         for w, c in pairs:
             print(w, c)
         return 0
-    jobs = 1
-    if "--jobs" in argv:
-        jobs = max(1, int(argv[argv.index("--jobs") + 1]))
-    cache = default_cache()
-    todo = [(w, c) for w, c in pairs if cache.load(w, c) is None]
-    print(f"{len(pairs)} pairs total, {len(todo)} to simulate "
-          f"({jobs} job{'s' if jobs > 1 else ''})", flush=True)
-    # Group by workload for trace reuse inside run_pair's cache.
-    by_workload: Dict[str, List[str]] = {}
-    for w, c in todo:
-        by_workload.setdefault(w, []).append(c)
-    done = 0
+    jobs = max(1, opts.jobs)
+    engine = SweepEngine(jobs=jobs, cache=default_cache())
     start = time.time()
 
-    def progress(workload: str, count: int) -> None:
-        nonlocal done
-        done += count
+    def progress(workload: str, config: str, done: int, total: int) -> None:
         elapsed = time.time() - start
         rate = done / elapsed if elapsed else 0.0
-        remaining = (len(todo) - done) / rate if rate else float("inf")
-        print(f"[{done}/{len(todo)}] {workload} group done "
+        remaining = (total - done) / rate if rate else float("inf")
+        print(f"[{done}/{total}] {workload} {config} "
               f"({elapsed:.0f}s elapsed, ~{remaining:.0f}s left)",
               flush=True)
 
-    if jobs == 1:
-        for workload, configs in by_workload.items():
-            _fill_group(workload, configs)
-            progress(workload, len(configs))
-    else:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(_fill_group, workload, configs): workload
-                for workload, configs in by_workload.items()
-            }
-            for future in as_completed(futures):
-                progress(futures[future], future.result())
-    print("done", flush=True)
+    print(f"{len(pairs)} pairs selected "
+          f"({jobs} job{'s' if jobs > 1 else ''})", flush=True)
+    engine.run(pairs, progress=progress)
+    print(f"done: {engine.pairs_simulated} simulated in "
+          f"{engine.fill_seconds:.1f}s "
+          f"({engine.pairs_per_min:.1f} pairs/min)", flush=True)
     return 0
 
 

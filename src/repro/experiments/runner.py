@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import tempfile
 from pathlib import Path
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -25,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cpu.machine import Machine, build_icache
 from ..memory.icache import ConventionalICache
 from ..stats.counters import SimResult
+from ..trace.arrays import ArrayTrace
 from ..trace.io import read_trace, write_trace
 from ..trace.record import Instruction
 from ..trace.workloads import Workload, get_workload, scale_factor
@@ -55,8 +57,15 @@ class ResultCache:
         return self.root / "results" / key
 
     def _trace_path(self, workload: str) -> Path:
+        # Uncompressed columnar container: reads are a single buffer pull
+        # whose columns load zero-copy (the sweep engine publishes exactly
+        # these bytes into shared memory for its workers).
         scale = scale_factor()
-        return self.root / "traces" / f"{workload}__s{scale:g}.trace.gz"
+        return self.root / "traces" / f"{workload}__s{scale:g}.atrace"
+
+    def _estimates_path(self) -> Path:
+        scale = scale_factor()
+        return self.root / f"estimates__s{scale:g}.json"
 
     def load(self, workload: str, config: str) -> Optional[SimResult]:
         path = self._result_path(workload, config)
@@ -74,22 +83,86 @@ class ResultCache:
             return None
 
     def store(self, result: SimResult) -> None:
+        # Concurrent writers of the same pair (parallel fills, overlapping
+        # run_all invocations) must never corrupt an entry: write to a
+        # uniquely named temp file in the same directory, then atomically
+        # rename it over the destination.
         path = self._result_path(result.workload, result.config)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as fh:
-            json.dump(result.to_dict(), fh)
-        tmp.replace(path)
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        self._atomic_write(path, payload)
 
-    def trace_for(self, workload: Workload) -> List[Instruction]:
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        fh = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=path.name + ".", suffix=".tmp",
+            delete=False)
+        try:
+            with fh:
+                fh.write(text)
+            os.replace(fh.name, path)
+        except BaseException:
+            os.unlink(fh.name)
+            raise
+
+    # -- host timing estimates (sweep-engine scheduling) -------------------
+
+    def load_estimates(self) -> Dict[str, float]:
+        """Measured ``sim_wall_seconds`` per ``"workload::config"`` at the
+        current scale; the sweep engine orders cold pairs by these."""
+        path = self._estimates_path()
+        if not path.exists():
+            return {}
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            return {k: float(v) for k, v in data.items()}
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            return {}
+
+    def store_estimates(self, estimates: Dict[str, float]) -> None:
+        """Merge ``estimates`` into the sidecar (atomic replace; a lost
+        update from a concurrent fill only costs scheduling accuracy)."""
+        merged = self.load_estimates()
+        merged.update(estimates)
+        self._atomic_write(self._estimates_path(),
+                           json.dumps(merged, sort_keys=True))
+
+    # -- traces ------------------------------------------------------------
+
+    def trace_exists(self, workload_name: str) -> bool:
+        return self._trace_path(workload_name).exists()
+
+    def array_trace_for(self, workload: Workload) -> ArrayTrace:
+        """The workload's trace as a columnar :class:`ArrayTrace`,
+        generated (and persisted) on first use."""
         path = self._trace_path(workload.name)
         if path.exists():
             try:
-                return read_trace(path)
+                trace = read_trace(path)
+                if isinstance(trace, ArrayTrace):
+                    return trace
+                return ArrayTrace.from_instructions(trace)
             except Exception:
                 path.unlink(missing_ok=True)
-        trace = workload.generate()
-        write_trace(path, trace)
+        trace = ArrayTrace.from_instructions(workload.generate())
+        # Atomic publish: concurrent generators of the same workload
+        # (e.g. two overlapping fills) each write a unique temp file and
+        # the last rename wins with identical bytes.
+        fh = tempfile.NamedTemporaryFile(
+            "wb", dir=path.parent, prefix=path.name + ".", suffix=".tmp",
+            delete=False)
+        try:
+            fh.close()
+            write_trace(fh.name, trace)
+            os.replace(fh.name, path)
+        except BaseException:
+            os.unlink(fh.name)
+            raise
         return trace
+
+    def trace_for(self, workload: Workload) -> List[Instruction]:
+        """Object-list view of :meth:`array_trace_for` (compatibility)."""
+        return self.array_trace_for(workload).to_instructions()
 
 
 _default_cache = None
@@ -104,9 +177,8 @@ def default_cache() -> ResultCache:
 
 def _simulate(workload: Workload, config: str,
               trace: Optional[Sequence[Instruction]] = None) -> SimResult:
-    cache = default_cache()
     if trace is None:
-        trace = cache.trace_for(workload)
+        trace = default_cache().array_trace_for(workload)
     warmup, measure = workload.windows()
     icache = build_icache(config)
     analysis = isinstance(icache, ConventionalICache) and config == "conv32"
@@ -152,22 +224,19 @@ def run_config(workloads: Sequence[str], config: str) -> List[SimResult]:
     return [run_pair(name, config) for name in workloads]
 
 
-def sweep(workloads: Sequence[str],
-          configs: Sequence[str]) -> Dict[Tuple[str, str], SimResult]:
-    """Run the full (workload x config) matrix, trace-reuse optimised."""
-    out: Dict[Tuple[str, str], SimResult] = {}
-    cache = default_cache()
-    for name in workloads:
-        trace = None
-        for config in configs:
-            hit = cache.load(name, config)
-            if hit is None:
-                if trace is None:
-                    trace = cache.trace_for(get_workload(name))
-                hit = _simulate(get_workload(name), config, trace)
-                cache.store(hit)
-            out[(name, config)] = hit
-    return out
+def sweep(workloads: Sequence[str], configs: Sequence[str],
+          jobs: int = 1) -> Dict[Tuple[str, str], SimResult]:
+    """Run the full (workload x config) matrix through the sweep engine.
+
+    With ``jobs == 1`` the engine simulates inline (traces memoised per
+    workload, exactly the old behaviour); with ``jobs > 1`` individual
+    (workload, config) pairs are scheduled onto a process pool with
+    shared-memory trace fan-out (see :mod:`repro.experiments.pool`).
+    """
+    from .pool import SweepEngine
+
+    pairs = [(name, config) for name in workloads for config in configs]
+    return SweepEngine(jobs=jobs, cache=default_cache()).run(pairs)
 
 
 def missing_pairs(workloads: Iterable[str],

@@ -32,12 +32,15 @@ class Resteer(IntEnum):
     EXECUTE = 2
 
 
-_BR_COND = InstrKind.BR_COND
-_JUMP = InstrKind.JUMP
-_CALL = InstrKind.CALL
-_CALL_IND = InstrKind.CALL_IND
-_BR_IND = InstrKind.BR_IND
-_RET = InstrKind.RET
+#: Plain-int kind codes: :meth:`BranchPredictionUnit.process_raw` takes
+#: the kind as an int so columnar traces can feed it without building
+#: ``InstrKind`` members (``IntEnum`` values compare equal to these).
+_BR_COND = int(InstrKind.BR_COND)
+_JUMP = int(InstrKind.JUMP)
+_CALL = int(InstrKind.CALL)
+_CALL_IND = int(InstrKind.CALL_IND)
+_BR_IND = int(InstrKind.BR_IND)
+_RET = int(InstrKind.RET)
 _NONE = Resteer.NONE
 _DECODE = Resteer.DECODE
 _EXECUTE = Resteer.EXECUTE
@@ -70,68 +73,73 @@ class BranchPredictionUnit:
     def process(self, instr: Instruction) -> Resteer:
         """Predict + train on one control-flow instruction; classify the
         resteer the front-end would experience."""
-        kind = instr.kind
-        pc = instr.pc
+        return self.process_raw(instr.kind, instr.pc, instr.size,
+                                instr.taken, instr.target)
 
-        if kind is _BR_COND:
+    def process_raw(self, kind: int, pc: int, size: int, taken: bool,
+                    ins_target: int) -> Resteer:
+        """:meth:`process` on the raw field values of one control-flow
+        instruction — the entry point columnar traces use, so BPU
+        run-ahead never has to materialise ``Instruction`` objects."""
+        if kind == _BR_COND:
             self.cond_lookups += 1
-            predicted_taken = self._predict(pc, instr.taken)
-            if predicted_taken != instr.taken:
+            predicted_taken = self._predict(pc, taken)
+            if predicted_taken != taken:
                 self.mispredicts += 1
-                if instr.taken:
-                    self._btb_update(pc, instr.target)
+                if taken:
+                    self._btb_update(pc, ins_target)
                 return _EXECUTE
-            if not instr.taken:
+            if not taken:
                 return _NONE
             target = self._btb_lookup(pc)
-            self._btb_update(pc, instr.target)
+            self._btb_update(pc, ins_target)
             if target is None:
                 self.btb_resteers += 1
                 return _DECODE
-            if target != instr.target:
+            if target != ins_target:
                 self.mispredicts += 1
                 return _EXECUTE
             return _NONE
 
-        if kind is _JUMP or kind is _CALL:
+        if kind == _JUMP or kind == _CALL:
             self._note_uncond()
-            if kind is _CALL:
-                self._ras_push(pc + instr.size)
+            if kind == _CALL:
+                self._ras_push(pc + size)
             target = self._btb_lookup(pc)
-            self._btb_update(pc, instr.target)
+            self._btb_update(pc, ins_target)
             if target is None:
                 # Direct branches resteer at decode: the target is encoded
                 # in the instruction bytes.
                 self.btb_resteers += 1
                 return _DECODE
-            if target != instr.target:
+            if target != ins_target:
                 self.mispredicts += 1
                 return _EXECUTE
             return _NONE
 
-        if kind is _CALL_IND:
+        if kind == _CALL_IND:
             self._note_uncond()
-            self._ras_push(pc + instr.size)
+            self._ras_push(pc + size)
             target = self._btb_lookup(pc)
-            self._btb_update(pc, instr.target)
-            if target != instr.target:
+            self._btb_update(pc, ins_target)
+            if target != ins_target:
                 self.mispredicts += 1
                 return _EXECUTE
             return _NONE
 
-        if kind is _BR_IND:
+        if kind == _BR_IND:
             self._note_uncond()
             target = self._btb_lookup(pc)
-            self._btb_update(pc, instr.target)
-            if target != instr.target:
+            self._btb_update(pc, ins_target)
+            if target != ins_target:
                 self.mispredicts += 1
                 return _EXECUTE
             return _NONE
 
-        if kind is _RET:
+        if kind == _RET:
             self._note_uncond()
             predicted = self._ras_pop()
-            if predicted != instr.target:
+            if predicted != ins_target:
                 self.mispredicts += 1
                 return _EXECUTE
             return _NONE

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..trace.arrays import ArrayTrace
 from ..trace.record import IS_BRANCH, Instruction
 from .bpu import BranchPredictionUnit, Resteer
 
@@ -59,7 +60,7 @@ class RangeBuilder:
     """Advances the BPU over the trace, emitting fetch ranges."""
 
     __slots__ = ("trace", "bpu", "index", "_next_byte", "blocked",
-                 "_n_trace", "_bpu_process")
+                 "_n_trace", "_bpu_process", "_bpu_process_raw", "_cols")
 
     def __init__(self, trace: Sequence[Instruction],
                  bpu: BranchPredictionUnit) -> None:
@@ -70,6 +71,14 @@ class RangeBuilder:
         self.blocked = False           # stopped behind a resteer
         self._n_trace = len(trace)
         self._bpu_process = bpu.process
+        self._bpu_process_raw = bpu.process_raw
+        # Columnar traces are walked through their flat columns so
+        # run-ahead never materialises Instruction objects.
+        if isinstance(trace, ArrayTrace):
+            self._cols = (trace.pc, trace.size, trace.kind,
+                          trace.taken, trace.target)
+        else:
+            self._cols = None
 
     @property
     def exhausted(self) -> bool:
@@ -83,6 +92,8 @@ class RangeBuilder:
         """Produce the next fetch range, or None when blocked/exhausted."""
         if self.blocked or self.exhausted:
             return None
+        if self._cols is not None:
+            return self._build_next_columnar()
         trace = self.trace
         n_trace = self._n_trace
         idx = self.index
@@ -126,6 +137,56 @@ class RangeBuilder:
         self._next_byte = block_end if straddle else None
         # Completed instructions are trace[idx - len(instr_ends) : idx] in
         # both the normal and the boundary-straddling case.
+        return FetchRange(start, end - start, idx - len(instr_ends),
+                          tuple(instr_ends), resteer)
+
+    def _build_next_columnar(self) -> Optional[FetchRange]:
+        """:meth:`build_next` reading an :class:`ArrayTrace`'s columns —
+        identical control flow and results, no Instruction objects."""
+        pcs, sizes, kinds, takens, targets = self._cols
+        n_trace = self._n_trace
+        idx = self.index
+        next_byte = self._next_byte
+        start = next_byte if next_byte is not None else pcs[idx]
+        block_end = (start | 63) + 1
+
+        instr_ends: List[int] = []
+        append = instr_ends.append
+        is_branch = IS_BRANCH
+        process_raw = self._bpu_process_raw
+        end = start
+        resteer = _RESTEER_NONE
+        straddle = False
+
+        while idx < n_trace:
+            pc = pcs[idx]
+            size = sizes[idx]
+            ins_end = pc + size
+            if ins_end > block_end:
+                # The instruction straddles the block boundary: it completes
+                # in the continuation range that starts at the boundary.
+                end = block_end
+                straddle = True
+                break
+            end = ins_end
+            append(ins_end)
+            kind = kinds[idx]
+            idx += 1
+            if is_branch[kind]:
+                taken = takens[idx - 1] == 1
+                resteer = process_raw(kind, pc, size, taken, targets[idx - 1])
+                if resteer:          # i.e. != Resteer.NONE
+                    self.blocked = True
+                    break
+                if taken:
+                    break
+            if ins_end == block_end:
+                break
+
+        if end == start:
+            raise SimulationError("built an empty fetch range")
+        self.index = idx
+        self._next_byte = block_end if straddle else None
         return FetchRange(start, end - start, idx - len(instr_ends),
                           tuple(instr_ends), resteer)
 

@@ -1,16 +1,23 @@
-"""Binary trace file format.
+"""Binary trace file formats.
 
-The on-disk format is a small, self-describing binary container so that
+The on-disk formats are small, self-describing binary containers so that
 synthesised workloads can be persisted and re-used without re-running the
 generator (mirroring how ChampSim consumes pre-packaged trace files).
+Two versions exist, distinguished by their leading magic:
 
-Layout (little endian):
+* **v1 — record-oriented** (``b"REPROTR1"``): 8-byte magic, u32
+  instruction count, then one packed ``<QQQBBBbbb`` record per
+  instruction (pc, target, mem_addr, size, kind, flags with bit0 =
+  taken, src1, src2, dst — 30 bytes each). Reads back as a
+  ``List[Instruction]``.
+* **v2 — columnar** (``b"REPROAT"`` + version byte): the
+  :class:`~repro.trace.arrays.ArrayTrace` structure-of-arrays layout.
+  Reads back as an ``ArrayTrace`` whose columns are zero-copy views
+  over the file bytes.
 
-* 8-byte magic ``b"REPROTR1"``
-* u32 instruction count
-* per instruction: ``<QQQBBBbbb`` = pc, target, mem_addr, size, kind,
-  flags (bit0 = taken), src1, src2, dst — 30 bytes each.
-
+:func:`read_trace` auto-detects the container; :func:`write_trace`
+writes v2 when given an :class:`ArrayTrace` and v1 for plain
+instruction iterables (keeping old callers and old files working).
 Files ending in ``.gz`` are transparently gzip-compressed.
 """
 
@@ -19,15 +26,19 @@ from __future__ import annotations
 import gzip
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterable, List, Union
+from typing import BinaryIO, Iterable, List, Sequence, Union
 
 from ..errors import TraceError
+from .arrays import ArrayTrace
+from .arrays import MAGIC as ARRAY_MAGIC
 from .record import Instruction, InstrKind
 
 MAGIC = b"REPROTR1"
 _REC = struct.Struct("<QQQBBBbbb")
 
 PathLike = Union[str, Path]
+
+Trace = Union[List[Instruction], ArrayTrace]
 
 
 def _open(path: PathLike, mode: str) -> BinaryIO:
@@ -37,8 +48,18 @@ def _open(path: PathLike, mode: str) -> BinaryIO:
     return open(path, mode)
 
 
-def write_trace(path: PathLike, instructions: Iterable[Instruction]) -> int:
-    """Write instructions to ``path``; returns the number written."""
+def write_trace(path: PathLike,
+                instructions: Union[Iterable[Instruction], ArrayTrace]) -> int:
+    """Write a trace to ``path``; returns the number of instructions.
+
+    An :class:`ArrayTrace` is written in the columnar v2 container; any
+    other iterable of instructions in the record-oriented v1 container.
+    """
+    if isinstance(instructions, ArrayTrace):
+        with _open(path, "wb") as fh:
+            for chunk in instructions._chunks():
+                fh.write(chunk)
+        return len(instructions)
     records = list(instructions)
     with _open(path, "wb") as fh:
         fh.write(MAGIC)
@@ -51,26 +72,40 @@ def write_trace(path: PathLike, instructions: Iterable[Instruction]) -> int:
     return len(records)
 
 
-def read_trace(path: PathLike) -> List[Instruction]:
-    """Read a trace previously written by :func:`write_trace`."""
+def read_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`write_trace`.
+
+    Returns a ``List[Instruction]`` for v1 files and an
+    :class:`ArrayTrace` for v2 (columnar) files; both are valid
+    ``Sequence[Instruction]`` trace inputs everywhere in the simulator.
+    """
     with _open(path, "rb") as fh:
-        magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise TraceError(f"{path}: bad magic {magic!r}")
-        (count,) = struct.unpack("<I", fh.read(4))
-        payload = fh.read(count * _REC.size)
-        if len(payload) != count * _REC.size:
-            raise TraceError(
-                f"{path}: truncated trace (expected {count} records)"
-            )
-        out: List[Instruction] = []
-        append = out.append
-        for off in range(0, len(payload), _REC.size):
-            pc, target, mem, size, kind, flags, s1, s2, d = _REC.unpack_from(
-                payload, off
-            )
-            append(Instruction(
-                pc, size, InstrKind(kind), taken=bool(flags & 1),
-                target=target, src1=s1, src2=s2, dst=d, mem_addr=mem,
-            ))
-        return out
+        head = fh.read(len(MAGIC))
+        if head == MAGIC:
+            return _read_v1(path, fh)
+        if head[:len(ARRAY_MAGIC)] == ARRAY_MAGIC:
+            try:
+                return ArrayTrace.from_buffer(head + fh.read())
+            except TraceError as exc:
+                raise TraceError(f"{path}: {exc}") from None
+        raise TraceError(f"{path}: bad magic {head!r}")
+
+
+def _read_v1(path: PathLike, fh: BinaryIO) -> List[Instruction]:
+    (count,) = struct.unpack("<I", fh.read(4))
+    payload = fh.read(count * _REC.size)
+    if len(payload) != count * _REC.size:
+        raise TraceError(
+            f"{path}: truncated trace (expected {count} records)"
+        )
+    out: List[Instruction] = []
+    append = out.append
+    for off in range(0, len(payload), _REC.size):
+        pc, target, mem, size, kind, flags, s1, s2, d = _REC.unpack_from(
+            payload, off
+        )
+        append(Instruction(
+            pc, size, InstrKind(kind), taken=bool(flags & 1),
+            target=target, src1=s1, src2=s2, dst=d, mem_addr=mem,
+        ))
+    return out

@@ -1,0 +1,183 @@
+"""Sweep-engine tests: parity, scheduling, single-flight, shm hygiene.
+
+Everything runs at ``REPRO_SCALE=0.03`` (a few thousand instructions per
+workload) so the pool tests stay fast enough for tier 1.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.pool import (SweepEngine, estimate_key, expected_cost,
+                                    run_pairs)
+from repro.experiments.runner import ResultCache
+from repro.stats.counters import SimResult
+
+PAIRS = [
+    ("server_000", "conv32"),
+    ("server_000", "ubs"),
+    ("client_000", "conv32"),
+    ("client_000", "ubs"),
+]
+
+#: Host-timing keys that legitimately differ between runs.
+VOLATILE = ("sim_wall_seconds", "sim_cycles_per_sec", "sim_instrs_per_sec")
+
+
+def _masked_results(cache: ResultCache) -> dict:
+    """results/*.json keyed by filename, with volatile timings masked."""
+    out = {}
+    for path in sorted((cache.root / "results").glob("*.json")):
+        data = json.loads(path.read_text())
+        for key in VOLATILE:
+            data.get("extra", {}).pop(key, None)
+        out[path.name] = data
+    return out
+
+
+def _shm_entries():
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.iterdir() if not p.name.startswith("sem.")}
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.03")
+    # The engine's workers re-derive the cache from its root; the host
+    # default cache must not leak into the developer's .repro_cache.
+    monkeypatch.setattr(runner_mod, "_default_cache", None)
+
+
+def _engine(tmp_path, name, jobs):
+    return SweepEngine(jobs=jobs, cache=ResultCache(tmp_path / name))
+
+
+class TestParity:
+    def test_parallel_fill_byte_identical_to_serial(self, tmp_path):
+        """Modulo host-timing extras, a --jobs 2 fill must produce the
+        same result-cache bytes as the inline fill."""
+        serial = _engine(tmp_path, "serial", jobs=1)
+        parallel = _engine(tmp_path, "parallel", jobs=2)
+        serial.run(PAIRS)
+        parallel.run(PAIRS)
+        assert serial.pairs_simulated == parallel.pairs_simulated == 4
+        assert _masked_results(serial.cache) == _masked_results(parallel.cache)
+
+    def test_results_match_between_modes(self, tmp_path):
+        inline = _engine(tmp_path, "a", jobs=1).run(PAIRS)
+        pooled = _engine(tmp_path, "b", jobs=2).run(PAIRS)
+        assert set(inline) == set(pooled) == set(PAIRS)
+        for pair in PAIRS:
+            assert inline[pair].cycles == pooled[pair].cycles
+            assert inline[pair].to_dict()["frontend"] == \
+                pooled[pair].to_dict()["frontend"]
+
+    def test_run_pairs_wrapper(self, tmp_path):
+        out = run_pairs(PAIRS[:1], cache=ResultCache(tmp_path / "w"))
+        assert isinstance(out[PAIRS[0]], SimResult)
+
+
+class TestScheduling:
+    def test_duplicate_pairs_simulated_once(self, tmp_path, monkeypatch):
+        calls = []
+        real = runner_mod._simulate
+
+        def counting(workload, config, trace=None):
+            calls.append((workload.name, config))
+            return real(workload, config, trace)
+
+        import repro.experiments.pool as pool_mod
+        monkeypatch.setattr(pool_mod, "_simulate", counting)
+        engine = _engine(tmp_path, "dup", jobs=1)
+        out = engine.run([PAIRS[0], PAIRS[1], PAIRS[0], PAIRS[0]])
+        assert calls.count(PAIRS[0]) == 1
+        assert set(out) == {PAIRS[0], PAIRS[1]}
+        assert engine.pairs_simulated == 2
+
+    def test_cached_pairs_not_resimulated(self, tmp_path):
+        engine = _engine(tmp_path, "warm", jobs=1)
+        engine.run(PAIRS[:2])
+        again = SweepEngine(jobs=1, cache=engine.cache)
+        out = again.run(PAIRS)
+        assert again.pairs_simulated == 2  # only the two cold pairs
+        assert set(out) == set(PAIRS)
+
+    def test_estimates_persisted_and_ordering(self, tmp_path):
+        engine = _engine(tmp_path, "est", jobs=1)
+        engine.run(PAIRS)
+        estimates = engine.cache.load_estimates()
+        assert set(estimates) == {estimate_key(w, c) for w, c in PAIRS}
+        assert all(v > 0 for v in estimates.values())
+        # Measured estimates dominate the ordering...
+        slow = {estimate_key("a", "conv32"): 9.0,
+                estimate_key("b", "conv32"): 1.0}
+        assert expected_cost(("a", "conv32"), slow) > \
+            expected_cost(("b", "conv32"), slow)
+        # ...and the cold-pair heuristic ranks sub-block configs as
+        # slower than the conventional baseline of the same workload.
+        assert expected_cost(("server_000", "ubs"), {}) > \
+            expected_cost(("server_000", "conv32"), {})
+
+    def test_fill_metrics(self, tmp_path):
+        engine = _engine(tmp_path, "metrics", jobs=1)
+        engine.run(PAIRS[:2])
+        assert engine.fill_seconds > 0
+        assert engine.pairs_per_min > 0
+        # A fully warm run simulates nothing.
+        warm = SweepEngine(jobs=1, cache=engine.cache)
+        warm.run(PAIRS[:2])
+        assert warm.pairs_simulated == 0
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        engine = _engine(tmp_path, "prog", jobs=1)
+        engine.run(PAIRS, progress=lambda w, c, d, t: seen.append((d, t)))
+        assert seen[-1] == (4, 4)
+        assert [d for d, _ in seen] == [1, 2, 3, 4]
+
+    def test_profiler_charged(self, tmp_path):
+        from repro.telemetry.profiler import StageProfiler
+        prof = StageProfiler()
+        engine = SweepEngine(jobs=1, cache=ResultCache(tmp_path / "prof"),
+                             profiler=prof)
+        engine.run(PAIRS[:2])
+        assert prof.wall_seconds > 0
+        assert prof.stage_seconds.get("simulate", 0) > 0
+        assert prof.stage_calls["simulate"] == 2
+
+
+class TestHygiene:
+    def test_no_shared_memory_leaked(self, tmp_path):
+        """Every published segment must be unlinked by the time run()
+        returns — leaked /dev/shm entries outlive the process and eat
+        host RAM across campaigns."""
+        before = _shm_entries()
+        _engine(tmp_path, "shm", jobs=2).run(PAIRS)
+        assert _shm_entries() == before
+
+    def test_no_temp_files_left(self, tmp_path):
+        engine = _engine(tmp_path, "tmp", jobs=2)
+        engine.run(PAIRS)
+        assert list(Path(engine.cache.root).rglob("*.tmp")) == []
+
+    def test_store_is_atomic_and_deterministic(self, tmp_path):
+        """store() must leave no droppings and write sorted-key JSON so
+        byte-level parity comparisons are meaningful."""
+        engine = _engine(tmp_path, "atomic", jobs=1)
+        engine.run(PAIRS[:1])
+        path = engine.cache._result_path(*PAIRS[0])
+        data = json.loads(path.read_text())
+        assert path.read_text() == json.dumps(data, sort_keys=True)
+
+    def test_trace_files_shared_between_configs(self, tmp_path):
+        engine = _engine(tmp_path, "trace", jobs=2)
+        engine.run(PAIRS)
+        traces = os.listdir(engine.cache.root / "traces")
+        # One .atrace per workload, not per pair.
+        assert sorted(traces) == ["client_000__s0.03.atrace",
+                                  "server_000__s0.03.atrace"]

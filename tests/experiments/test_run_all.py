@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 import repro.experiments.run_all as run_all_mod
 import repro.experiments.runner as runner_mod
 from repro.experiments.run_all import all_pairs, main
@@ -42,15 +44,42 @@ class TestAllPairs:
             build_icache(config)  # raises on unknown names
 
 
+class TestCli:
+    def test_list_prints_pairs(self, capsys):
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == len(all_pairs())
+        assert lines[0].split() == list(all_pairs()[0])
+
+    def test_pairs_regex_filters(self, capsys):
+        assert main(["--list", "--pairs", r"^server_000::ubs$"]) == 0
+        assert capsys.readouterr().out.split() == ["server_000", "ubs"]
+
+    def test_pairs_regex_matches_config_only(self, capsys):
+        assert main(["--list", "--pairs", "::ideal"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines and all(line.endswith(" ideal") for line in lines)
+
+    def test_bad_regex_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--list", "--pairs", "("])
+        assert exc.value.code == 2
+
+    def test_unknown_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--job", "2"])  # typo must not be silently ignored
+        assert exc.value.code == 2
+
+
 class TestFill:
     """Serial and process-pool fills must produce identical caches."""
 
     PAIRS = [("client_000", "conv32"), ("client_000", "ubs"),
              ("client_001", "conv32"), ("client_001", "ubs")]
 
-    def _fill(self, tmp_path, monkeypatch, name, argv):
+    def _fill(self, tmp_path, monkeypatch, name, argv, scale="0.03"):
         cache_dir = tmp_path / name
-        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        monkeypatch.setenv("REPRO_SCALE", scale)
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         monkeypatch.setattr(runner_mod, "_default_cache", None)
         monkeypatch.setattr(run_all_mod, "all_pairs", lambda: self.PAIRS)
@@ -71,3 +100,19 @@ class TestFill:
                               ["--jobs", "2"])
         assert len(serial) == len(self.PAIRS)
         assert parallel == serial
+
+    def test_four_job_fill_matches_serial(self, tmp_path, monkeypatch):
+        """The acceptance check: a --jobs 4 fill at REPRO_SCALE=0.05 is
+        byte-identical (modulo host-timing extras) to a serial fill."""
+        serial = self._fill(tmp_path, monkeypatch, "serial4", [],
+                            scale="0.05")
+        parallel = self._fill(tmp_path, monkeypatch, "parallel4",
+                              ["--jobs", "4"], scale="0.05")
+        assert len(serial) == len(self.PAIRS)
+        assert parallel == serial
+
+    def test_pairs_filter_limits_fill(self, tmp_path, monkeypatch):
+        filled = self._fill(tmp_path, monkeypatch, "filtered",
+                            ["--pairs", "client_000::"])
+        assert len(filled) == 2
+        assert all(name.startswith("client_000__") for name in filled)

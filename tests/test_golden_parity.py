@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.cpu.machine import Machine, build_icache
+from repro.trace.arrays import ArrayTrace
 from repro.trace.workloads import get_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden" / "parity"
@@ -47,9 +48,11 @@ def _golden_path(workload: str, config: str) -> Path:
     return GOLDEN_DIR / f"{workload}__{config}__s{GOLDEN_SCALE}.json"
 
 
-def _simulate(workload: str, config: str) -> dict:
+def _simulate(workload: str, config: str, columnar: bool = False) -> dict:
     wl = get_workload(workload)
     trace = wl.generate()
+    if columnar:
+        trace = ArrayTrace.from_instructions(trace)
     warmup, measure = wl.windows()
     machine = Machine(trace, build_icache(config))
     result = machine.run(warmup, measure)
@@ -79,4 +82,23 @@ def test_bit_identical_to_golden(workload, config):
         f"{workload}/{config} drifted from its pre-optimization golden — "
         "simulation semantics changed (if intentional, bump RESULTS_VERSION "
         "and regenerate with REPRO_UPDATE_GOLDENS=1)"
+    )
+
+
+@pytest.mark.parametrize("workload,config", GOLDEN_PAIRS)
+def test_columnar_trace_bit_identical_to_golden(workload, config):
+    """The ArrayTrace delivery/run-ahead fast paths (columnar BPU walk,
+    ``Backend.accept_range_arrays``) must match the same pre-recorded
+    goldens as the object-list path — the parallel sweep engine feeds
+    every worker columnar traces, so any drift here would silently change
+    every campaign result."""
+    path = _golden_path(workload, config)
+    if not path.exists():
+        pytest.skip(f"golden {path.name} not recorded yet")
+    produced = _simulate(workload, config, columnar=True)
+    golden = json.loads(path.read_text())
+    assert produced == golden, (
+        f"{workload}/{config} columnar simulation drifted from the golden "
+        "recorded with object-list traces — the ArrayTrace hot paths are "
+        "no longer bit-identical"
     )

@@ -124,6 +124,7 @@ def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
             "implementation": platform.python_implementation(),
             "machine": platform.machine(),
             "system": platform.system(),
+            "cpus": os.cpu_count(),
         },
         "repro_scale": float(PINNED_SCALE),
         "repeats": repeats,
@@ -131,6 +132,49 @@ def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
         "results": results,
         "geomean_cycles_per_sec": round(geomean, 1),
     }
+
+
+def measure_fill(pairs: List[Tuple[str, str]],
+                 jobs_list: List[int]) -> List[Dict]:
+    """Time cold sweep-engine fills of ``pairs`` at each worker count.
+
+    Every fill starts from an empty throwaway cache (so trace
+    generation, scheduling and shared-memory fan-out are all on the
+    clock) and is instrumented with a StageProfiler; the samples feed
+    the ``fill_pairs_per_min`` campaign-throughput metric.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.pool import SweepEngine
+    from repro.experiments.runner import ResultCache
+    from repro.telemetry.profiler import StageProfiler
+
+    samples: List[Dict] = []
+    for jobs in jobs_list:
+        root = Path(tempfile.mkdtemp(prefix="perfgate_fill_"))
+        try:
+            profiler = StageProfiler()
+            engine = SweepEngine(jobs=jobs, cache=ResultCache(root),
+                                 profiler=profiler)
+            print(f"  filling {len(pairs)} pairs with --jobs {jobs} ...",
+                  end=" ", flush=True)
+            engine.run(pairs)
+            print(f"{engine.fill_seconds:.2f}s "
+                  f"({engine.pairs_per_min:.1f} pairs/min)")
+            samples.append({
+                "jobs": jobs,
+                "pairs": engine.pairs_simulated,
+                "fill_seconds": round(engine.fill_seconds, 3),
+                "fill_pairs_per_min": round(engine.pairs_per_min, 1),
+                "stage_seconds": {
+                    k: round(v, 3)
+                    for k, v in profiler.stage_seconds.items()
+                },
+            })
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return samples
 
 
 def find_baseline(out_path: Path, explicit: Optional[str]) -> Optional[Path]:
@@ -188,6 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="baseline JSON to compare against")
     parser.add_argument("--no-compare", action="store_true",
                         help="measure and write only; skip the gate")
+    parser.add_argument("--fill-jobs", default="1,2", metavar="LIST",
+                        help="comma-separated worker counts for the "
+                             "sweep-engine fill measurement (default: "
+                             "'1,2'; empty string skips it)")
     args = parser.parse_args(argv)
 
     os.environ["REPRO_SCALE"] = PINNED_SCALE
@@ -197,6 +245,15 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"REPRO_SCALE={PINNED_SCALE}, best of {args.repeats}")
     report = run_suite(pairs, args.repeats)
     report["suite"] = label
+
+    fill_jobs = [int(j) for j in args.fill_jobs.split(",") if j.strip()]
+    if fill_jobs:
+        print(f"fill throughput (cold cache, jobs {fill_jobs}):")
+        report["fill"] = measure_fill(pairs, fill_jobs)
+        # Headline campaign-throughput metric: the best fill observed.
+        report["fill_pairs_per_min"] = max(
+            s["fill_pairs_per_min"] for s in report["fill"]
+        )
 
     out_path = args.out
     if out_path is None:
