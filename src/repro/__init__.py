@@ -38,7 +38,7 @@ from .memory import (
     MemoryHierarchy,
     SmallBlockICache,
 )
-from .cpu import Machine, build_icache
+from .cpu import Machine, build_icache, build_machine
 from .stats import SimResult
 from .telemetry import (
     EventTrace,
@@ -78,6 +78,7 @@ __all__ = [
     "UsefulnessPredictor",
     "Workload",
     "build_icache",
+    "build_machine",
     "conventional_l1i",
     "conventional_storage",
     "get_workload",
@@ -105,7 +106,17 @@ def simulate(workload: Union[str, Workload], config: str = "conv32", *,
         workload = get_workload(workload)
     trace = workload.generate()
     warmup, measure = workload.windows()
-    icache = build_icache(config)
+    from .cpu.machine import split_machine_config
+
+    base, override = split_machine_config(config)
+    if params is None:
+        params = override
+    elif override is not None:
+        raise ConfigurationError(
+            f"configuration {config!r} carries a machine-level suffix; "
+            "pass either the suffix or explicit params, not both"
+        )
+    icache = build_icache(base)
     machine = Machine(trace, icache, params, telemetry=telemetry)
     result = machine.run(warmup, measure, sample_efficiency=sample_efficiency)
     result.workload = workload.name

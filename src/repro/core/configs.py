@@ -11,12 +11,24 @@ organisation, not capacity.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..params import DEFAULT_UBS_WAY_SIZES, UBSParams
+from ..params import DEFAULT_UBS_WAY_SIZES, TRANSFER_BLOCK, UBSParams
 
 DEFAULT_WAY_SIZES = DEFAULT_UBS_WAY_SIZES
+
+#: Per-set data budget of the Table II default (the way sizes sum to 444
+#: bytes; the 64-byte predictor way is accounted separately).
+DATA_BUDGET_BYTES = sum(DEFAULT_UBS_WAY_SIZES)
+
+#: Relative budget slack the Fig. 16 catalogue keeps around the default:
+#: the catalogued lists range from 372 B (-16.2%) to 484 B (+9.0%), so a
+#: catalogue entry is "iso-storage" within this documented tolerance.
+CATALOG_BUDGET_TOLERANCE = 0.17
+
+#: Smallest catalogued way size; all lists use multiples of this.
+WAY_SIZE_STEP = 4
 
 #: (n_ways, config) -> way sizes. The 14-way entries are quoted verbatim
 #: from Section VI-K.
@@ -34,14 +46,59 @@ WAY_CONFIGS: Dict[Tuple[int, int], Tuple[int, ...]] = {
 }
 
 
+def data_budget(way_sizes: Sequence[int]) -> int:
+    """Per-set data bytes of a way-size list (excluding the predictor way)."""
+    return sum(way_sizes)
+
+
+def check_way_sizes(way_sizes: Sequence[int], *,
+                    budget: int = DATA_BUDGET_BYTES,
+                    tolerance: float = CATALOG_BUDGET_TOLERANCE,
+                    granularity: int = WAY_SIZE_STEP) -> None:
+    """Validate a way-size list against the catalogue invariants.
+
+    Raises :class:`ConfigurationError` naming the offending vector and its
+    computed budget, so callers never have to reconstruct either. Checks:
+    sizes monotone non-decreasing, every size a multiple of ``granularity``
+    in ``granularity..64``, and the per-set data budget within
+    ``tolerance`` of ``budget`` bytes. Shared by the hand-written
+    catalogue tests and :mod:`repro.dse.space`, so generated and
+    transcribed configurations obey one validator.
+    """
+    sizes = tuple(way_sizes)
+    if not sizes:
+        raise ConfigurationError("way-size vector is empty")
+    if any(w < granularity or w > TRANSFER_BLOCK or w % granularity
+           for w in sizes):
+        raise ConfigurationError(
+            f"way sizes must be multiples of {granularity} in "
+            f"{granularity}..{TRANSFER_BLOCK}: got {sizes}"
+        )
+    if list(sizes) != sorted(sizes):
+        raise ConfigurationError(
+            f"way sizes must be monotone non-decreasing: got {sizes}"
+        )
+    total = data_budget(sizes)
+    lo = budget * (1 - tolerance)
+    hi = budget * (1 + tolerance)
+    if not lo <= total <= hi:
+        raise ConfigurationError(
+            f"per-set data budget {total} B outside "
+            f"{budget} B ±{tolerance:.0%} ({lo:.0f}..{hi:.0f} B): "
+            f"way sizes {sizes}"
+        )
+
+
 def way_config(n_ways: int, config: int = 1) -> Tuple[int, ...]:
     """Look up a way-size list from the Fig. 16 catalogue."""
     try:
         return WAY_CONFIGS[(n_ways, config)]
     except KeyError as exc:
+        available = sorted({n for n, _c in WAY_CONFIGS})
         raise ConfigurationError(
             f"no catalogued UBS configuration with {n_ways} ways "
-            f"(config{config})"
+            f"(config{config}); catalogued way counts: {available}, "
+            f"configs 1 and 2"
         ) from exc
 
 
@@ -61,7 +118,11 @@ def ubs_params_for_budget(budget: int,
         sets *= 2
     remainder = budget - sets * per_set
     if remainder >= sets * per_set:  # pragma: no cover - defensive
-        raise ConfigurationError("set scaling failed")
+        raise ConfigurationError(
+            f"set scaling failed for budget {budget} B: {sets} sets x "
+            f"{per_set} B/set leaves {remainder} B over with way sizes "
+            f"{base.way_sizes}"
+        )
     way_sizes = base.way_sizes
     if remainder > 0.25 * sets * per_set:
         # Budgets like 20 KB sit between power-of-two points; widen the

@@ -90,6 +90,18 @@ def _fit_to_budget(sizes: List[int], budget: int,
     return sorted(scaled)
 
 
+def fit_way_sizes(sizes: Sequence[int], budget: int,
+                  granularity: int = 4) -> Tuple[int, ...]:
+    """Fit an arbitrary size list to ``budget`` bytes per set.
+
+    Public wrapper around the quantile designer's repair step, reused by
+    :mod:`repro.dse.space` to pull randomly sampled way vectors onto the
+    iso-storage budget. Deterministic: the same input always yields the
+    same (sorted) output.
+    """
+    return tuple(_fit_to_budget(list(sizes), budget, granularity))
+
+
 def design_way_sizes(usage_counts: Sequence[int], n_ways: int = 16,
                      budget: int = 444,
                      granularity: int = 4) -> Tuple[int, ...]:

@@ -51,6 +51,15 @@ class StorageReport:
     def total_kib(self) -> float:
         return self.total_bytes / 1024
 
+    @property
+    def total_bits(self) -> int:
+        """Exact total in bits (the DSE iso-storage axis)."""
+        per_set = (self.tag_metadata_bits_per_set
+                   + self.start_offset_bits_per_set
+                   + self.bitvector_bits_per_set
+                   + 8 * self.data_bytes_per_set)
+        return per_set * self.sets
+
 
 def tag_bits(sets: int, block_size: int = TRANSFER_BLOCK,
              addr_bits: int = PHYSICAL_ADDR_BITS) -> int:
@@ -110,6 +119,34 @@ def ubs_storage(way_sizes: Sequence[int], sets: int = 64,
         data_bytes_per_set=sum(way_sizes) + predictor_ways * TRANSFER_BLOCK,
         sets=sets,
     )
+
+
+def predictor_storage_bits(entries: int, granularity: int = 4,
+                           addr_bits: int = PHYSICAL_ADDR_BITS) -> int:
+    """Total bits of a direct-mapped usefulness predictor with ``entries``
+    entries: per entry a tag, a valid bit, the accessed-bit vector and one
+    64-byte transfer block of data (Section IV-B's logical extra way)."""
+    if entries <= 0 or entries & (entries - 1):
+        raise ConfigurationError(
+            f"predictor entries must be a positive power of two, "
+            f"got {entries}"
+        )
+    tag = addr_bits - int(math.log2(entries)) - int(math.log2(TRANSFER_BLOCK))
+    bitvector = TRANSFER_BLOCK // granularity
+    return entries * (tag + 1 + bitvector + 8 * TRANSFER_BLOCK)
+
+
+def ftq_storage_bits(entries: int,
+                     addr_bits: int = PHYSICAL_ADDR_BITS) -> int:
+    """Total bits of a fetch target queue: each entry holds a fetch range
+    (start address, a 7-bit byte length covering up to two 64B blocks) and
+    a valid bit. A sizing model for iso-storage comparisons, not a timing
+    structure."""
+    if entries <= 0:
+        raise ConfigurationError(
+            f"FTQ entries must be positive, got {entries}"
+        )
+    return entries * (addr_bits + 7 + 1)
 
 
 def ubs_overhead_kib(way_sizes: Sequence[int], sets: int = 64) -> float:

@@ -1,6 +1,7 @@
 """CPU timing model: out-of-order back-end and the full machine."""
 
 from .backend import Backend
-from .machine import Machine, build_icache
+from .machine import Machine, build_icache, build_machine, split_machine_config
 
-__all__ = ["Backend", "Machine", "build_icache"]
+__all__ = ["Backend", "Machine", "build_icache", "build_machine",
+           "split_machine_config"]

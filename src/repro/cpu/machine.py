@@ -21,8 +21,9 @@ event timing.
 from __future__ import annotations
 
 import heapq
+import re
 from collections import deque
-from dataclasses import fields as _dataclass_fields
+from dataclasses import fields as _dataclass_fields, replace
 from time import perf_counter
 from typing import Deque, List, Optional, Sequence, Tuple
 
@@ -35,7 +36,7 @@ from ..memory.icache import (InstructionCacheBase, ConventionalICache,
                              MissKind)
 from ..memory.mshr import MSHRFile
 from ..memory.small_block import SmallBlockICache
-from ..params import MachineParams, UBSParams, conventional_l1i
+from ..params import CoreParams, MachineParams, UBSParams, conventional_l1i
 from ..stats.counters import FrontEndStats, SimResult
 from ..stats.efficiency import EfficiencySampler
 from ..telemetry import (
@@ -644,6 +645,9 @@ def build_icache(config: str) -> InstructionCacheBase:
     * ``ubs_budget{N}``              — UBS scaled to ~N KB of data storage
     * ``ubs_pred_{dm128,sa8lru,sa8fifo,full}`` — predictor variants
     * ``ubs_ways{N}c{1,2}``          — Fig. 16 way-configuration sweep
+    * ``ubs_v{s1.s2...}[_p{E}]``     — free-form way-size vector (dotted,
+      ascending), optional direct-mapped predictor with E entries; the
+      naming used by the :mod:`repro.dse` search for generated points
     """
     if config.startswith("conv"):
         rest = config[4:]
@@ -679,6 +683,26 @@ def build_icache(config: str) -> InstructionCacheBase:
         if kind not in table:
             raise ConfigurationError(f"unknown predictor variant {kind!r}")
         return UBSICache(predictor_config=table[kind])
+    if config.startswith("ubs_v"):
+        spec = config[len("ubs_v"):]
+        fields = spec.split("_")
+        try:
+            sizes = tuple(int(s) for s in fields[0].split("."))
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed way-size vector in {config!r} "
+                "(expected e.g. ubs_v4.8.16.64)"
+            ) from None
+        predictor = None
+        for extra in fields[1:]:
+            if extra.startswith("p") and extra[1:].isdigit():
+                predictor = PredictorConfig.direct_mapped(int(extra[1:]))
+            else:
+                raise ConfigurationError(
+                    f"unknown ubs_v modifier {extra!r} in {config!r}"
+                )
+        return UBSICache(UBSParams(way_sizes=sizes),
+                         predictor_config=predictor)
     if config.startswith("ubs_ways"):
         spec = config[len("ubs_ways"):]
         n_ways, cfg = spec.split("c")
@@ -695,3 +719,42 @@ def build_icache(config: str) -> InstructionCacheBase:
         from ..memory.ideal import IdealICache
         return IdealICache()
     raise ConfigurationError(f"unknown L1-I configuration {config!r}")
+
+
+#: ``<base>_f<N>`` — machine-level FTQ-depth override on any L1-I config
+#: (digits required, so ``conv32_fifo`` keeps naming a replacement policy).
+_FTQ_SUFFIX = re.compile(r"^(?P<base>.+)_f(?P<ftq>\d+)$")
+
+
+def split_machine_config(config: str) -> Tuple[str, Optional[MachineParams]]:
+    """Split a configuration name into (L1-I config, machine params).
+
+    Config names are pure L1-I organisations except for an optional
+    trailing ``_f<N>`` which sets the FTQ depth (a front-end dimension the
+    :mod:`repro.dse` search explores). Returns ``(base, None)`` when the
+    name carries no machine-level override, so existing configurations
+    build byte-identical machines.
+    """
+    match = _FTQ_SUFFIX.match(config)
+    if match is None:
+        return config, None
+    ftq = int(match.group("ftq"))
+    if ftq < 1:
+        raise ConfigurationError(
+            f"FTQ depth must be positive in configuration {config!r}"
+        )
+    params = MachineParams(core=replace(CoreParams(), ftq_entries=ftq))
+    return match.group("base"), params
+
+
+def build_machine(trace: Sequence[Instruction], config: str,
+                  telemetry: Optional[Telemetry] = None) -> Machine:
+    """Build a full :class:`Machine` from a configuration name.
+
+    The one-stop factory used by the experiment runner: handles every
+    :func:`build_icache` name plus machine-level suffixes recognised by
+    :func:`split_machine_config`.
+    """
+    base, params = split_machine_config(config)
+    return Machine(trace, build_icache(base), params=params,
+                   telemetry=telemetry)

@@ -1,0 +1,76 @@
+"""Budget-constrained design-space exploration for UBS geometries.
+
+The paper hand-picks its way-size catalogues (Table II and the Fig. 16
+sweep); this subsystem turns geometry selection into an explicit search
+problem under the same iso-storage discipline:
+
+* :mod:`repro.dse.space` — what a design point is and which points are
+  admissible (budget, granularity, canonicalisation);
+* :mod:`repro.dse.search` — grid / random / hill-climbing strategies,
+  objectives over :class:`~repro.stats.counters.SimResult`, and the
+  evaluation loop that fans out through the parallel sweep engine;
+* :mod:`repro.dse.pareto` — non-dominated set extraction for the
+  storage-bits × speedup trade-off;
+* :mod:`repro.dse.journal` — the crash-safe JSONL journal that makes a
+  killed search resumable without re-simulation.
+
+Driven from the command line by ``python -m repro.experiments.dse``; see
+``docs/dse.md`` for the full story.
+"""
+
+from .journal import SCHEMA_VERSION as JOURNAL_SCHEMA_VERSION, SearchJournal
+from .pareto import MAX, MIN, dominates, frontier_gap, pareto_indices
+from .search import (
+    Evaluator,
+    EvalRecord,
+    GridSearch,
+    HillClimb,
+    OBJECTIVES,
+    RandomSearch,
+    SearchOutcome,
+    SearchStrategy,
+    journal_meta,
+    make_strategy,
+    objective_score,
+    run_search,
+)
+from .space import (
+    DEFAULT_FTQ_ENTRIES,
+    DEFAULT_PREDICTOR_ENTRIES,
+    DesignPoint,
+    DesignSpace,
+    SEARCH_BUDGET_TOLERANCE,
+    default_point,
+    point_from_config,
+    point_storage_bits,
+)
+
+__all__ = [
+    "DEFAULT_FTQ_ENTRIES",
+    "DEFAULT_PREDICTOR_ENTRIES",
+    "DesignPoint",
+    "DesignSpace",
+    "EvalRecord",
+    "Evaluator",
+    "GridSearch",
+    "HillClimb",
+    "JOURNAL_SCHEMA_VERSION",
+    "MAX",
+    "MIN",
+    "OBJECTIVES",
+    "RandomSearch",
+    "SEARCH_BUDGET_TOLERANCE",
+    "SearchJournal",
+    "SearchOutcome",
+    "SearchStrategy",
+    "default_point",
+    "dominates",
+    "frontier_gap",
+    "journal_meta",
+    "make_strategy",
+    "objective_score",
+    "pareto_indices",
+    "point_from_config",
+    "point_storage_bits",
+    "run_search",
+]

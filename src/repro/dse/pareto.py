@@ -1,0 +1,91 @@
+"""Pareto-frontier extraction for multi-objective design comparisons.
+
+The search's headline trade-off is storage bits (minimise) versus geomean
+speedup (maximise), but the helpers are sense-generic so ablation studies
+can put MPKI or storage efficiency on an axis instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Objective senses.
+MIN = "min"
+MAX = "max"
+
+
+def _oriented(row: Sequence[float], senses: Sequence[str]) -> Tuple[float, ...]:
+    """Flip every dimension so that larger is always better."""
+    if len(row) != len(senses):
+        raise ConfigurationError(
+            f"objective row {tuple(row)} does not match senses "
+            f"{tuple(senses)}"
+        )
+    out = []
+    for value, sense in zip(row, senses):
+        if sense == MAX:
+            out.append(float(value))
+        elif sense == MIN:
+            out.append(-float(value))
+        else:
+            raise ConfigurationError(f"unknown objective sense {sense!r}")
+    return tuple(out)
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              senses: Sequence[str] = (MIN, MAX)) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every objective and
+    strictly better on at least one."""
+    oa = _oriented(a, senses)
+    ob = _oriented(b, senses)
+    return all(x >= y for x, y in zip(oa, ob)) and oa != ob
+
+
+def pareto_indices(rows: Sequence[Sequence[float]],
+                   senses: Sequence[str] = (MIN, MAX)) -> List[int]:
+    """Indices of the non-dominated rows, in ascending input order.
+
+    Duplicated objective rows are all kept (they dominate nothing and are
+    dominated by nothing among themselves), so equal designs stay visible
+    in reports.
+    """
+    oriented = [_oriented(row, senses) for row in rows]
+    keep: List[int] = []
+    for i, candidate in enumerate(oriented):
+        dominated = False
+        for j, other in enumerate(oriented):
+            if i == j:
+                continue
+            if all(x >= y for x, y in zip(other, candidate)) \
+                    and other != candidate:
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def frontier_gap(row: Sequence[float], frontier: Sequence[Sequence[float]],
+                 senses: Sequence[str] = (MIN, MAX)) -> float:
+    """Relative shortfall of ``row``'s *last* objective against the best
+    frontier row that is no worse on every other objective.
+
+    For the default (storage, speedup) senses this answers "how much
+    speedup is left on the table at matched (or smaller) storage": 0.0
+    means the row is on the frontier at its budget, 0.01 means a frontier
+    point with no more storage is 1% faster.
+    """
+    if not frontier:
+        return 0.0
+    oriented_row = _oriented(row, senses)
+    best = oriented_row[-1]
+    for other in frontier:
+        oriented = _oriented(other, senses)
+        if all(x >= y for x, y in
+               zip(oriented[:-1], oriented_row[:-1])):
+            best = max(best, oriented[-1])
+    if oriented_row[-1] == 0:
+        return 0.0
+    return (best - oriented_row[-1]) / abs(oriented_row[-1])

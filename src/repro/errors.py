@@ -24,6 +24,16 @@ class TraceError(ReproError):
     """A trace file or instruction stream is malformed."""
 
 
+class JournalError(ReproError):
+    """A search journal cannot be resumed.
+
+    Raised for schema-version mismatches, corrupt non-trailing records, or
+    a header that disagrees with the requested search (different scale,
+    space or seed) — anything where silently continuing would mix
+    incompatible results.
+    """
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state.
 

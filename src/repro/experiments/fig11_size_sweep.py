@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .pool import run_pairs
 from .report import by_family, geomean, perf_workloads
-from .runner import run_pair
 
 #: (label, config, approximate data budget in KB)
 CONV_POINTS: List[Tuple[str, str, int]] = [
@@ -33,14 +33,18 @@ UBS_POINTS: List[Tuple[str, str, int]] = [
 BASELINE = "conv16"
 
 
-def run() -> Dict[str, Dict[str, float]]:
+def run(jobs: int = 1) -> Dict[str, Dict[str, float]]:
     """family -> {point label: geomean speedup over the 16KB baseline}."""
     names = perf_workloads()
+    configs = [BASELINE] + [c for _l, c, _kb in CONV_POINTS + UBS_POINTS]
+    results = run_pairs([(n, c) for n in names for c in configs],
+                        jobs=jobs)
     speedups: Dict[str, Dict[str, float]] = {n: {} for n in names}
     for name in names:
-        base = run_pair(name, BASELINE)
+        base = results[(name, BASELINE)]
         for label, config, _kb in CONV_POINTS + UBS_POINTS:
-            speedups[name][label] = run_pair(name, config).speedup_over(base)
+            speedups[name][label] = \
+                results[(name, config)].speedup_over(base)
     out: Dict[str, Dict[str, float]] = {}
     for family, members in by_family(names).items():
         out[family] = {

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .pool import run_pairs
 from .report import by_family, geomean, perf_workloads
-from .runner import run_pair
 
 SWEEP: List[Tuple[str, str]] = [
     ("10-way c1", "ubs_ways10c1"), ("10-way c2", "ubs_ways10c2"),
@@ -24,13 +24,16 @@ SWEEP: List[Tuple[str, str]] = [
 ]
 
 
-def run() -> Dict[str, Dict[str, float]]:
+def run(jobs: int = 1) -> Dict[str, Dict[str, float]]:
     names = perf_workloads()
+    configs = ["conv32"] + [c for _l, c in SWEEP]
+    results = run_pairs([(n, c) for n in names for c in configs],
+                        jobs=jobs)
     per_wl: Dict[str, Dict[str, float]] = {}
     for name in names:
-        base = run_pair(name, "conv32")
+        base = results[(name, "conv32")]
         per_wl[name] = {
-            label: run_pair(name, config).speedup_over(base)
+            label: results[(name, config)].speedup_over(base)
             for label, config in SWEEP
         }
     return {

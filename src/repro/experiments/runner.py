@@ -23,7 +23,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..cpu.machine import Machine, build_icache
+from ..cpu.machine import Machine, build_icache, build_machine
 from ..memory.icache import ConventionalICache
 from ..stats.counters import SimResult
 from ..trace.arrays import ArrayTrace
@@ -180,11 +180,11 @@ def _simulate(workload: Workload, config: str,
     if trace is None:
         trace = default_cache().array_trace_for(workload)
     warmup, measure = workload.windows()
-    icache = build_icache(config)
+    machine = build_machine(trace, config)
+    icache = machine.icache
     analysis = isinstance(icache, ConventionalICache) and config == "conv32"
     if analysis:
         icache.track_touch_distance = True
-    machine = Machine(trace, icache)
     t0 = perf_counter()
     result = machine.run(warmup, measure)
     wall = perf_counter() - t0

@@ -36,6 +36,7 @@ from .events import (
     NullRecorder,
     PREDICTOR,
     RUN_SUMMARY,
+    SEARCH,
     STALL,
     STALL_CAUSES,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "PREDICTOR",
     "ProfileReport",
     "RUN_SUMMARY",
+    "SEARCH",
     "STALL",
     "STALL_CAUSES",
     "StageProfiler",

@@ -93,6 +93,55 @@ def cdf_plot(cdf: Sequence[float], width: int = 64, height: int = 8,
     return "\n".join(rows)
 
 
+def scatter_plot(points: Sequence[Tuple[float, float]], width: int = 64,
+                 height: int = 16, x_label: str = "x", y_label: str = "y",
+                 highlight: Sequence[int] = (),
+                 frontier: Sequence[int] = ()) -> str:
+    """ASCII scatter plot.
+
+    ``points`` are (x, y) pairs; indices in ``frontier`` render as ``o``
+    and indices in ``highlight`` as ``◆`` (highlight wins when both).
+    Used for the DSE storage × speedup trade-off; dependency-free like
+    the rest of this module.
+    """
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = {}
+    frontier_set = set(frontier)
+    highlight_set = set(highlight)
+    for index, (x, y) in enumerate(points):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        mark = "·"
+        if index in frontier_set:
+            mark = "o"
+        if index in highlight_set:
+            mark = "◆"
+        # Never let a plain point overwrite a frontier/highlight mark.
+        rank = {"·": 0, "o": 1, "◆": 2}
+        if rank[mark] >= rank.get(marks.get((row, col)), -1):
+            marks[(row, col)] = mark
+            grid[row][col] = mark
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_here = y_hi - row_index * y_span / (height - 1) if height > 1 \
+            else y_hi
+        axis = f"{y_here:8.3f} |" if row_index % 4 == 0 \
+            else "         |"
+        lines.append(axis + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:.3g} {x_label} ... {x_hi:.3g}   "
+                 f"(y = {y_label}; o frontier, ◆ default)")
+    return "\n".join(lines)
+
+
 def histogram(counts: Mapping[object, int], width: int = 40) -> str:
     """Vertical-label histogram of bucketed counts."""
     if not counts:

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.configs import (
+    CATALOG_BUDGET_TOLERANCE,
+    DATA_BUDGET_BYTES,
     WAY_CONFIGS,
+    check_way_sizes,
+    data_budget,
     ubs_params_for_budget,
     way_config,
 )
@@ -36,6 +40,74 @@ class TestCatalogue:
     def test_unknown_config(self):
         with pytest.raises(ConfigurationError):
             way_config(11, 1)
+
+    def test_unknown_config_error_lists_catalogue(self):
+        with pytest.raises(ConfigurationError) as exc:
+            way_config(11, 3)
+        message = str(exc.value)
+        assert "11 ways" in message
+        assert "[10, 12, 14, 16, 18]" in message
+
+    def test_every_catalogue_entry_passes_the_dse_checker(self):
+        """The same validator repro.dse.space uses must accept every
+        catalogued list within the documented budget tolerance."""
+        for sizes in WAY_CONFIGS.values():
+            check_way_sizes(sizes)      # defaults = catalogue invariants
+
+    def test_catalogue_tolerance_is_tight(self):
+        spread = max(
+            abs(data_budget(sizes) - DATA_BUDGET_BYTES) / DATA_BUDGET_BYTES
+            for sizes in WAY_CONFIGS.values()
+        )
+        assert spread <= CATALOG_BUDGET_TOLERANCE
+        # The documented tolerance is not slack: shaving 4% off it must
+        # exclude at least one catalogued entry.
+        with pytest.raises(ConfigurationError):
+            for sizes in WAY_CONFIGS.values():
+                check_way_sizes(sizes,
+                                tolerance=CATALOG_BUDGET_TOLERANCE - 0.04)
+
+
+class TestWaySizeChecker:
+    def test_default_passes(self):
+        check_way_sizes(DEFAULT_UBS_WAY_SIZES)
+        assert data_budget(DEFAULT_UBS_WAY_SIZES) == DATA_BUDGET_BYTES == 444
+
+    def test_empty_vector(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            check_way_sizes(())
+
+    def test_budget_error_names_vector_and_budget(self):
+        sizes = (64,) * 16              # 1024 B, way over budget
+        with pytest.raises(ConfigurationError) as exc:
+            check_way_sizes(sizes)
+        message = str(exc.value)
+        assert "1024 B" in message      # the computed budget
+        assert str(sizes) in message    # the offending vector
+        assert "444 B" in message       # the target budget
+
+    def test_monotonicity_error_names_vector(self):
+        sizes = tuple(reversed(DEFAULT_UBS_WAY_SIZES))
+        with pytest.raises(ConfigurationError) as exc:
+            check_way_sizes(sizes)
+        message = str(exc.value)
+        assert "monotone" in message and str(sizes) in message
+
+    def test_granularity_error_names_vector(self):
+        sizes = (6,) * 74               # 444 B but not multiples of 4
+        with pytest.raises(ConfigurationError) as exc:
+            check_way_sizes(sizes)
+        message = str(exc.value)
+        assert "multiples of 4" in message and str(sizes) in message
+
+    def test_oversized_way_rejected(self):
+        with pytest.raises(ConfigurationError, match="4..64"):
+            check_way_sizes((4, 68), budget=72, tolerance=0.1)
+
+    def test_custom_budget_band(self):
+        check_way_sizes((16, 16), budget=32, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            check_way_sizes((16, 20), budget=32, tolerance=0.0)
 
 
 class TestBudgetScaling:

@@ -1,0 +1,161 @@
+"""Journal robustness tests: the crash-damage contract.
+
+A crash can only truncate the *last* line (appends are single whole-line
+writes), so that is the only damage ``read`` repairs. Anything else —
+corruption mid-file, a foreign schema, a header from a different search —
+must refuse loudly rather than resume over incompatible results.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.dse import JOURNAL_SCHEMA_VERSION, SearchJournal
+from repro.errors import JournalError
+
+META = {"strategy": "random", "seed": 7, "objective": "speedup",
+        "workloads": ["server_000"]}
+
+POINT = {"way_sizes": [4, 8, 64], "predictor_entries": 64,
+         "ftq_entries": 128}
+
+
+def make_journal(path, n_evals=2):
+    journal = SearchJournal(path)
+    journal.ensure_header(META)
+    for i in range(n_evals):
+        journal.append_eval(f"ubs_v{i}", POINT,
+                            {"speedup_geomean": 1.0 + i / 100},
+                            {"server_000": {"cycles": 100 + i}})
+    return journal
+
+
+class TestRoundtrip:
+    def test_fresh_journal_has_no_evals(self, tmp_path):
+        journal = SearchJournal(tmp_path / "j.jsonl")
+        assert not journal.exists()
+        assert journal.ensure_header(META) == {}
+        assert journal.exists()
+
+    def test_evals_survive_reload(self, tmp_path):
+        make_journal(tmp_path / "j.jsonl")
+        journal = SearchJournal(tmp_path / "j.jsonl")
+        header, evals = journal.read()
+        assert header["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert header["seed"] == 7
+        assert set(evals) == {"ubs_v0", "ubs_v1"}
+        assert evals["ubs_v1"]["metrics"]["speedup_geomean"] == 1.01
+
+    def test_resume_returns_completed_evals(self, tmp_path):
+        make_journal(tmp_path / "j.jsonl")
+        evals = SearchJournal(tmp_path / "j.jsonl").ensure_header(META)
+        assert set(evals) == {"ubs_v0", "ubs_v1"}
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        journal = SearchJournal(tmp_path / "j.jsonl")
+        journal.ensure_header(META)
+        value = 1.0123456789012345
+        journal.append_eval("k", POINT, {"speedup_geomean": value}, {})
+        _header, evals = journal.read()
+        assert evals["k"]["metrics"]["speedup_geomean"] == value
+
+
+class TestCrashDamage:
+    def test_truncated_last_line_discarded_with_warning(self, tmp_path,
+                                                        caplog):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        text = path.read_text()
+        path.write_text(text[:-20])    # rip the tail off the last record
+        with caplog.at_level(logging.WARNING):
+            _header, evals = SearchJournal(path).read()
+        assert set(evals) == {"ubs_v0"}
+        assert "truncated" in caplog.text
+
+    def test_resume_after_truncation_reruns_only_the_lost_point(
+            self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        path.write_text(path.read_text()[:-20])
+        evals = SearchJournal(path).ensure_header(META)
+        assert set(evals) == {"ubs_v0"}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-15]      # damage a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt journal line 2"):
+            SearchJournal(path).read()
+
+    def test_duplicate_keys_keep_first(self, tmp_path, caplog):
+        path = tmp_path / "j.jsonl"
+        journal = make_journal(path, n_evals=1)
+        journal.append_eval("ubs_v0", POINT,
+                            {"speedup_geomean": 9.9}, {})
+        with caplog.at_level(logging.WARNING):
+            _header, evals = journal.read()
+        assert evals["ubs_v0"]["metrics"]["speedup_geomean"] == 1.0
+        assert "duplicate" in caplog.text
+
+
+class TestForeignFiles:
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = JOURNAL_SCHEMA_VERSION + 1
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="schema_version"):
+            SearchJournal(path).read()
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "eval", "key": "k"}) + "\n"
+                        + json.dumps({"kind": "eval", "key": "l"}) + "\n")
+        with pytest.raises(JournalError, match="not a journal header"):
+            SearchJournal(path).read()
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "checkpoint"}) + "\n")
+            fh.write(json.dumps({"kind": "eval", "key": "z",
+                                 "point": POINT, "metrics": {},
+                                 "per_workload": {}}) + "\n")
+        with pytest.raises(JournalError, match="unexpected record kind"):
+            SearchJournal(path).read()
+
+    def test_keyless_eval_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"kind": "eval"}) + "\n")
+            fh.write(json.dumps({"kind": "eval", "key": "z",
+                                 "point": POINT, "metrics": {},
+                                 "per_workload": {}}) + "\n")
+        with pytest.raises(JournalError, match="without a key"):
+            SearchJournal(path).read()
+
+    def test_header_disagreement_names_the_field(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        other = dict(META, seed=8)
+        with pytest.raises(JournalError) as exc:
+            SearchJournal(path).ensure_header(other)
+        message = str(exc.value)
+        assert "seed" in message and "7" in message and "8" in message
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        lines = path.read_text().splitlines()
+        lines[1] = json.dumps(["not", "an", "object"])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            SearchJournal(path).read()

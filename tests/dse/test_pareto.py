@@ -1,0 +1,62 @@
+"""Pareto-front extraction tests."""
+
+import pytest
+
+from repro.dse import MAX, MIN, dominates, frontier_gap, pareto_indices
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((1.0, 2.0), (2.0, 1.0), (MIN, MAX))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0), (MIN, MAX))
+
+    def test_better_on_one_axis_only(self):
+        # Cheaper but slower: neither dominates.
+        assert not dominates((1.0, 1.0), (2.0, 2.0), (MIN, MAX))
+        assert not dominates((2.0, 2.0), (1.0, 1.0), (MIN, MAX))
+
+    def test_weak_domination(self):
+        # Equal on one axis, strictly better on the other.
+        assert dominates((1.0, 3.0), (1.0, 2.0), (MIN, MAX))
+
+
+class TestParetoIndices:
+    def test_single_point(self):
+        assert pareto_indices([(1.0, 1.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        rows = [(1.0, 1.0), (2.0, 0.5), (1.5, 2.0)]
+        front = pareto_indices(rows, (MIN, MAX))
+        assert front == [0, 2]
+
+    def test_trade_off_chain_all_kept(self):
+        rows = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert pareto_indices(rows, (MIN, MAX)) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        rows = [(1.0, 1.0), (1.0, 1.0)]
+        assert pareto_indices(rows, (MIN, MAX)) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_indices([]) == []
+
+
+class TestFrontierGap:
+    FRONT = [(1.0, 1.00), (2.0, 1.10), (3.0, 1.15)]
+
+    def test_frontier_member_has_zero_gap(self):
+        for row in self.FRONT:
+            assert frontier_gap(row, self.FRONT, (MIN, MAX)) == \
+                pytest.approx(0.0)
+
+    def test_dominated_point_has_positive_gap(self):
+        gap = frontier_gap((2.0, 1.045), self.FRONT, (MIN, MAX))
+        # Best frontier speedup at storage <= 2.0 is 1.10.
+        assert gap == pytest.approx((1.10 - 1.045) / 1.045)
+
+    def test_gap_uses_only_affordable_frontier_points(self):
+        gap = frontier_gap((1.5, 0.99), self.FRONT, (MIN, MAX))
+        # Only the (1.0, 1.00) point costs <= 1.5.
+        assert gap == pytest.approx((1.00 - 0.99) / 0.99)

@@ -1,0 +1,138 @@
+"""Design-space definition tests (no simulation)."""
+
+import random
+
+import pytest
+
+from repro.core.configs import (
+    CATALOG_BUDGET_TOLERANCE,
+    DATA_BUDGET_BYTES,
+    WAY_CONFIGS,
+)
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    default_point,
+    point_from_config,
+    point_storage_bits,
+)
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_UBS_WAY_SIZES
+
+
+class TestDesignPoint:
+    def test_default_maps_to_catalogue_name(self):
+        assert default_point().config_name == "ubs"
+
+    def test_canonicalisation_sorts_ways(self):
+        shuffled = DesignPoint((64, 4, 8, 4))
+        assert shuffled.canonical().way_sizes == (4, 4, 8, 64)
+        assert shuffled.config_name == DesignPoint((4, 4, 8, 64)).config_name
+
+    def test_permutations_share_one_cache_key(self):
+        keys = {
+            DesignPoint(tuple(perm)).config_name
+            for perm in ((4, 8, 16), (16, 8, 4), (8, 4, 16))
+        }
+        assert len(keys) == 1
+
+    def test_config_name_roundtrip(self):
+        point = DesignPoint((4, 8, 16, 64), predictor_entries=128,
+                            ftq_entries=64)
+        assert point.config_name == "ubs_v4.8.16.64_p128_f64"
+        assert point_from_config(point.config_name) == point
+
+    def test_default_roundtrip(self):
+        assert point_from_config("ubs") == default_point()
+
+    def test_point_from_config_rejects_foreign_names(self):
+        with pytest.raises(ConfigurationError):
+            point_from_config("conv32")
+        with pytest.raises(ConfigurationError):
+            point_from_config("ubs_v4.x.8")
+        with pytest.raises(ConfigurationError):
+            point_from_config("ubs_v4.8_q3")
+
+    def test_data_bytes(self):
+        assert default_point().data_bytes == DATA_BUDGET_BYTES
+
+
+class TestStorageModel:
+    def test_default_point_matches_table3_plus_ftq(self):
+        # Table III: 36.336 KB for the cache arrays + predictor; the FTQ
+        # model adds 128 x 46 bits = 0.719 KiB on top.
+        bits = point_storage_bits(default_point())
+        assert bits / 8192 == pytest.approx(37.055, abs=0.01)
+
+    def test_predictor_entries_move_storage(self):
+        small = DesignPoint(DEFAULT_UBS_WAY_SIZES, predictor_entries=32)
+        big = DesignPoint(DEFAULT_UBS_WAY_SIZES, predictor_entries=128)
+        assert point_storage_bits(small) < point_storage_bits(big)
+
+    def test_ftq_entries_move_storage(self):
+        shallow = DesignPoint(DEFAULT_UBS_WAY_SIZES, ftq_entries=32)
+        assert point_storage_bits(shallow) < \
+            point_storage_bits(default_point())
+
+
+class TestDesignSpace:
+    def test_default_point_is_valid(self):
+        assert DesignSpace().is_valid(default_point())
+
+    def test_budget_violation_names_vector(self):
+        space = DesignSpace()
+        fat = DesignPoint((64,) * 16)
+        with pytest.raises(ConfigurationError) as exc:
+            space.validate(fat)
+        assert "1024 B" in str(exc.value)
+
+    def test_way_count_bounds(self):
+        space = DesignSpace()
+        few = DesignPoint((64,) * 7)    # 448 B: budget fine, too few ways
+        with pytest.raises(ConfigurationError, match="way count"):
+            space.validate(few)
+
+    def test_choice_membership(self):
+        space = DesignSpace()
+        with pytest.raises(ConfigurationError, match="predictor"):
+            space.validate(DesignPoint(DEFAULT_UBS_WAY_SIZES,
+                                       predictor_entries=128))
+        with pytest.raises(ConfigurationError, match="FTQ"):
+            space.validate(DesignPoint(DEFAULT_UBS_WAY_SIZES,
+                                       ftq_entries=4))
+
+    def test_rejects_non_power_of_two_predictor_choice(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace(predictor_choices=(48,))
+
+    def test_grid_covers_catalogue_and_dedups(self):
+        space = DesignSpace(budget_tolerance=CATALOG_BUDGET_TOLERANCE)
+        grid = space.grid()
+        keys = [p.config_name for p in grid]
+        assert keys[0] == "ubs"
+        assert len(keys) == len(set(keys)) == len(WAY_CONFIGS)
+        for point in grid:
+            space.validate(point)
+
+    def test_sample_is_valid_and_seeded(self):
+        space = DesignSpace()
+        a = space.sample(random.Random(11))
+        b = space.sample(random.Random(11))
+        assert a == b
+        space.validate(a)
+
+    def test_neighbors_valid_unique_sorted(self):
+        space = DesignSpace()
+        start = default_point()
+        neighbors = space.neighbors(start)
+        assert neighbors
+        assert start not in neighbors
+        assert neighbors == sorted(set(neighbors))
+        for point in neighbors:
+            space.validate(point)
+
+    def test_neighbors_include_iso_budget_transfers(self):
+        space = DesignSpace()
+        transfers = [p for p in space.neighbors(default_point())
+                     if p.data_bytes == DATA_BUDGET_BYTES]
+        assert transfers

@@ -1,0 +1,121 @@
+"""End-to-end tests of ``python -m repro.experiments.dse``.
+
+Two contracts the CLI must honour regardless of environment:
+
+* ``--jobs`` is pure mechanism — the journal and report for a fixed
+  (strategy, seed, workloads, scale) are identical at any parallelism,
+  modulo the completion order of journal lines;
+* a killed search resumes from its journal without re-simulating any
+  completed point and still produces a byte-identical report.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+BASE_ARGS = [sys.executable, "-m", "repro.experiments.dse",
+             "--strategy", "random", "--budget-evals", "4",
+             "--seed", "9", "--workloads", "server_000"]
+
+
+def dse_env(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_SCALE"] = "0.02"
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    return env
+
+
+def run_cli(out_dir, cache_dir, *extra, check=True):
+    proc = subprocess.run(
+        BASE_ARGS + ["--out", str(out_dir), *extra],
+        env=dse_env(cache_dir), cwd=REPO,
+        capture_output=True, text=True, timeout=600)
+    if check:
+        assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def journal_lines(out_dir):
+    lines = (Path(out_dir) / "journal.jsonl").read_text().splitlines()
+    return [json.loads(line) for line in lines]
+
+
+@pytest.mark.slow
+class TestJobsParity:
+    def test_serial_and_parallel_journals_match(self, tmp_path):
+        serial = run_cli(tmp_path / "serial", tmp_path / "cache1",
+                         "--jobs", "1")
+        parallel = run_cli(tmp_path / "parallel", tmp_path / "cache2",
+                           "--jobs", "4")
+
+        s_records = journal_lines(tmp_path / "serial")
+        p_records = journal_lines(tmp_path / "parallel")
+        assert s_records[0] == p_records[0]          # same header
+        assert "jobs" not in s_records[0]            # mechanism, not policy
+
+        def by_key(records):
+            return {r["key"]: r for r in records[1:]}
+
+        assert by_key(s_records) == by_key(p_records)
+
+        report_s = (tmp_path / "serial" / "report.txt").read_bytes()
+        report_p = (tmp_path / "parallel" / "report.txt").read_bytes()
+        assert report_s == report_p
+        assert (tmp_path / "serial" / "pareto.json").read_bytes() == \
+            (tmp_path / "parallel" / "pareto.json").read_bytes()
+        assert "simulated-pairs 0" not in serial.stdout
+        assert "resumed 0" in serial.stdout
+        assert "resumed 0" in parallel.stdout
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_sigkill_then_resume_is_lossless(self, tmp_path):
+        out = tmp_path / "search"
+        cache = tmp_path / "cache"
+        journal = out / "journal.jsonl"
+
+        # Start a search and SIGKILL it once at least one evaluation has
+        # been journaled (but before it can finish).
+        proc = subprocess.Popen(
+            BASE_ARGS + ["--out", str(out), "--jobs", "1"],
+            env=dse_env(cache), cwd=REPO,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.time() + 300
+            while time.time() < deadline:
+                if journal.exists() and \
+                        len(journal.read_text().splitlines()) >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("journal never gained an evaluation")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+        survivors = {r["key"] for r in journal_lines(out)[1:]}
+
+        # Resume to completion; the surviving points must not re-run.
+        resumed = run_cli(out, cache, "--jobs", "1")
+        assert f"resumed {len(survivors)}" in resumed.stdout
+
+        # A fresh, never-killed search must agree byte-for-byte.
+        run_cli(tmp_path / "fresh", tmp_path / "cache_fresh", "--jobs", "1")
+        assert (out / "report.txt").read_bytes() == \
+            (tmp_path / "fresh" / "report.txt").read_bytes()
+        assert (out / "pareto.json").read_bytes() == \
+            (tmp_path / "fresh" / "pareto.json").read_bytes()
+
+        # Replaying the finished journal simulates nothing at all, even
+        # against an empty result cache.
+        replay = run_cli(out, tmp_path / "cache_cold", "--jobs", "1")
+        assert "evals 4 resumed 4 simulated-pairs 0" in replay.stdout

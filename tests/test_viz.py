@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.viz import bar_chart, cdf_plot, histogram, sparkline
+from repro.viz import bar_chart, cdf_plot, histogram, scatter_plot, \
+    sparkline
 
 
 class TestBarChart:
@@ -72,6 +73,38 @@ class TestCdfPlot:
         # The top threshold is only reached in the right half.
         filled = top_row.index("█")
         assert filled > 20
+
+
+class TestScatterPlot:
+    def test_corners(self):
+        out = scatter_plot([(0.0, 0.0), (1.0, 1.0)], width=10, height=4)
+        lines = out.splitlines()
+        assert lines[0].endswith("·")           # max y, max x: top right
+        assert lines[3].rstrip().endswith("|·")  # min y, min x: bottom left
+
+    def test_marks(self):
+        out = scatter_plot([(0, 0), (1, 1), (2, 2)],
+                           frontier=[1, 2], highlight=[2],
+                           width=12, height=4)
+        assert "o" in out and "◆" in out
+
+    def test_highlight_not_overwritten(self):
+        # Two points in the same cell: the default marker must win.
+        out = scatter_plot([(0, 0), (0, 0), (1, 1)], highlight=[0],
+                           width=8, height=4)
+        assert "◆" in out
+
+    def test_empty(self):
+        assert scatter_plot([]) == "(no data)"
+
+    def test_degenerate_single_point(self):
+        out = scatter_plot([(3.0, 1.5)], width=8, height=4)
+        assert "·" in out
+
+    def test_labels(self):
+        out = scatter_plot([(0, 0), (1, 1)], x_label="KiB",
+                           y_label="speedup")
+        assert "KiB" in out and "speedup" in out
 
 
 class TestHistogram:
