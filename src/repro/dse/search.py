@@ -100,14 +100,15 @@ class Evaluator:
                  baseline: str = "conv32", jobs: int = 1,
                  cache=None, journal: Optional[SearchJournal] = None,
                  journaled: Optional[Dict[str, dict]] = None,
-                 profiler=None) -> None:
+                 profiler=None, obs=None) -> None:
         if not workloads:
             raise ConfigurationError("evaluator needs at least one workload")
         self.space = space
         self.workloads = list(workloads)
         self.baseline = baseline
         self.journal = journal
-        self.engine = SweepEngine(jobs=jobs, cache=cache, profiler=profiler)
+        self.engine = SweepEngine(jobs=jobs, cache=cache, profiler=profiler,
+                                  obs=obs)
         self.pairs_simulated = 0
         self.evals_resumed = 0
         self._journaled: Dict[str, dict] = dict(journaled or {})
@@ -361,14 +362,17 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
                objective: str = "speedup", baseline: str = "conv32",
                jobs: int = 1, seed: int = 0, cache=None,
                journal: Optional[SearchJournal] = None,
-               recorder=None, profiler=None,
+               recorder=None, profiler=None, obs=None,
                progress: Optional[ProgressFn] = None) -> SearchOutcome:
     """Run one budget-constrained search to completion.
 
     Deterministic for a fixed ``(space, strategy, seed, workloads,
     REPRO_SCALE)`` regardless of ``jobs``; with a ``journal``, a killed
     search resumes by replaying the strategy against journaled results
-    (zero re-simulation for completed points).
+    (zero re-simulation for completed points). ``obs`` (a
+    :class:`repro.obs.RunObs` / :class:`~repro.obs.ProgressObs`) wraps
+    every generation in a ``genNNN`` span and threads through the sweep
+    engine, so a search's span tree nests generation → sweep → pair.
     """
     if budget_evals < 1:
         raise ConfigurationError("budget_evals must be positive")
@@ -386,7 +390,7 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
                          objective=objective, baseline=baseline))
     evaluator = Evaluator(space, workloads, baseline=baseline, jobs=jobs,
                           cache=cache, journal=journal, journaled=journaled,
-                          profiler=profiler)
+                          profiler=profiler, obs=obs)
     rng = random.Random(seed)
     outcome = SearchOutcome(strategy=strategy.name, objective=objective)
     records = outcome.records
@@ -427,7 +431,12 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
                 continue
             break
         t0 = perf_counter()
-        new = evaluator.evaluate(batch)
+        if obs is not None:
+            with obs.span(f"gen{generation:03d}", strategy=strategy.name,
+                          points=len(batch)):
+                new = evaluator.evaluate(batch)
+        else:
+            new = evaluator.evaluate(batch)
         if profiler is not None:
             stage = f"dse.gen{generation:03d}"
             elapsed = perf_counter() - t0

@@ -205,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "JSONL")
     parser.add_argument("--profile", action="store_true",
                         help="print per-generation wall-clock stages")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="write run observability artifacts (manifest, "
+                             "span trace, heartbeats, metrics) into DIR; "
+                             "defaults to $REPRO_OBS_DIR, off when neither "
+                             "is set")
     return parser
 
 
@@ -233,12 +238,45 @@ def main(argv: List[str]) -> int:
         print(f"[gen {generation}] +{len(new)} points "
               f"({resumed} from journal) -> {done}/{budget}", flush=True)
 
-    outcome = run_search(
-        space, strategy, opts.budget_evals, workloads,
-        objective=opts.objective, baseline=opts.baseline,
-        jobs=max(1, opts.jobs), seed=opts.seed, cache=default_cache(),
-        journal=journal, recorder=recorder, profiler=profiler,
-        progress=progress)
+    from ..obs import ProgressObs, RunObs, SweepProgress, resolve_obs_dir
+
+    obs_dir = resolve_obs_dir(opts.obs_dir)
+    if obs_dir is not None:
+        obs = RunObs.create(
+            obs_dir, "dse", argv=["dse"] + list(argv),
+            config={"strategy": opts.strategy, "seed": opts.seed,
+                    "budget_evals": opts.budget_evals,
+                    "jobs": max(1, opts.jobs),
+                    "workloads": workloads, "objective": opts.objective})
+    else:
+        obs = ProgressObs(SweepProgress())
+
+    status = "OK"
+    try:
+        outcome = run_search(
+            space, strategy, opts.budget_evals, workloads,
+            objective=opts.objective, baseline=opts.baseline,
+            jobs=max(1, opts.jobs), seed=opts.seed, cache=default_cache(),
+            journal=journal, recorder=recorder, profiler=profiler,
+            obs=obs, progress=progress)
+    except BaseException:
+        status = "ERROR"
+        raise
+    finally:
+        metrics = None
+        if status == "OK":
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            default_cache().register_metrics(registry)
+            metrics = registry.snapshot()
+            metrics.update({
+                "evaluations": len(outcome.records),
+                "generations": outcome.generations,
+                "pairs_simulated": outcome.pairs_simulated,
+                "evals_resumed": outcome.evals_resumed,
+            })
+        obs.finish(metrics=metrics, status=status)
 
     report = render_report(outcome, workloads, opts.seed)
     report_path = os.path.join(opts.out, "report.txt")

@@ -32,6 +32,15 @@ path, and simulation is deterministic, so parallel and serial fills are
 byte-identical (tests/experiments/test_run_all.py). Shared-memory
 segments are unlinked as soon as a workload's last pair completes, and
 unconditionally on the way out of :meth:`SweepEngine.run`.
+
+With an observer attached (``obs=``, a :class:`repro.obs.RunObs`) the
+engine additionally emits a ``sweep`` span per run and one ``pair`` span
+per simulated pair — in pool mode the *worker* emits its pair span via
+the trace carrier threaded through ``submit`` (plus per-pid heartbeat
+records), so host and workers reconstruct as one tree; worker-side cache
+counter deltas are folded back into the host cache's counters either
+way. All hooks sit at pair granularity behind ``obs is not None``
+guards: runs without an observer are unchanged.
 """
 
 from __future__ import annotations
@@ -91,6 +100,17 @@ def expected_cost(pair: Pair, estimates: Dict[str, float]) -> float:
 _worker_caches: Dict[str, ResultCache] = {}
 _worker_traces: "OrderedDict[str, Tuple[ArrayTrace, Optional[object]]]" = \
     OrderedDict()
+_worker_heartbeats: Dict[str, object] = {}
+
+
+def _worker_heartbeat(obs_dir: str):
+    """This worker's heartbeat file under ``<obs_dir>/heartbeats/``."""
+    beat = _worker_heartbeats.get(obs_dir)
+    if beat is None:
+        from ..obs.runs import Heartbeat
+
+        beat = _worker_heartbeats[obs_dir] = Heartbeat(obs_dir)
+    return beat
 
 
 def _worker_cache(root: str) -> ResultCache:
@@ -139,17 +159,51 @@ def _worker_trace(cache: ResultCache, workload: str,
 
 
 def _worker_run_pair(workload: str, config: str, shm_name: Optional[str],
-                     cache_root: str) -> Tuple[str, str, dict]:
-    """Pool entry point: simulate one pair into the shared disk cache."""
+                     cache_root: str,
+                     obs_carrier: Optional[Dict[str, str]] = None,
+                     ) -> Tuple[str, str, dict, Dict[str, int]]:
+    """Pool entry point: simulate one pair into the shared disk cache.
+
+    With an ``obs_carrier`` (see :meth:`repro.obs.Tracer.carrier`) the
+    worker joins the host's trace: it emits one ``pair`` span parented to
+    the host's sweep span into the shared ``spans.jsonl`` and appends
+    ``run``/``idle`` records to its per-pid heartbeat file. The returned
+    counter delta lets the host fold worker-side cache behaviour into
+    its own :attr:`ResultCache.counters`.
+    """
     cache = _worker_cache(cache_root)
-    # Single-flight re-check: a concurrent fill may have produced this
-    # pair since it was scheduled; never simulate twice.
-    result = cache.load(workload, config)
-    if result is None:
-        trace = _worker_trace(cache, workload, shm_name)
-        result = _simulate(get_workload(workload), config, trace)
-        cache.store(result)
-    return workload, config, result.to_dict()
+    before = dict(cache.counters)
+    beat = tracer = None
+    if obs_carrier is not None:
+        from ..obs.spans import Tracer
+
+        tracer = Tracer.from_carrier(obs_carrier)
+        beat = _worker_heartbeat(obs_carrier["obs_dir"])
+        beat.beat("run", workload=workload, config=config)
+
+    def run() -> SimResult:
+        # Single-flight re-check: a concurrent fill may have produced
+        # this pair since it was scheduled; never simulate twice. The
+        # host's scan already counted this pair's miss, so the re-check
+        # stays out of the counters.
+        result = cache.load(workload, config, count=False)
+        if result is None:
+            trace = _worker_trace(cache, workload, shm_name)
+            result = _simulate(get_workload(workload), config, trace)
+            cache.store(result)
+        return result
+
+    if tracer is not None:
+        with tracer.span("pair", workload=workload, config=config,
+                         key=estimate_key(workload, config)):
+            result = run()
+    else:
+        result = run()
+    if beat is not None:
+        beat.done += 1
+        beat.beat("idle")
+    delta = {k: cache.counters[k] - before[k] for k in before}
+    return workload, config, result.to_dict(), delta
 
 
 # -- host side ----------------------------------------------------------------
@@ -165,10 +219,11 @@ class SweepEngine:
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 profiler=None) -> None:
+                 profiler=None, obs=None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else default_cache()
         self.profiler = profiler        # telemetry.StageProfiler or None
+        self.obs = obs                  # repro.obs.RunObs or None
         self.fill_seconds = 0.0
         self.pairs_simulated = 0
 
@@ -218,11 +273,21 @@ class SweepEngine:
             if todo:
                 estimates = cache.load_estimates()
                 todo.sort(key=lambda p: -expected_cost(p, estimates))
+                obs = self.obs
+                if obs is not None:
+                    obs.sweep_started(
+                        todo, len(ordered),
+                        {p: expected_cost(p, estimates) for p in todo},
+                        self.jobs)
                 fresh: Dict[str, float] = {}
-                if self.jobs == 1:
-                    self._run_inline(todo, results, fresh, progress)
-                else:
-                    self._run_pool(todo, results, fresh, progress)
+                try:
+                    if self.jobs == 1:
+                        self._run_inline(todo, results, fresh, progress)
+                    else:
+                        self._run_pool(todo, results, fresh, progress)
+                finally:
+                    if obs is not None:
+                        obs.sweep_finished(self)
                 t0 = perf_counter()
                 cache.store_estimates(fresh)
                 self._charge("store", t0)
@@ -238,9 +303,12 @@ class SweepEngine:
                     estimates: Dict[str, float],
                     progress: Optional[ProgressFn]) -> None:
         cache = self.cache
+        obs = self.obs
         memo: "OrderedDict[str, ArrayTrace]" = OrderedDict()
         done = 0
         for workload, config in todo:
+            if obs is not None:
+                obs.pair_started(workload, config)
             trace = memo.get(workload)
             if trace is None:
                 t0 = perf_counter()
@@ -257,6 +325,8 @@ class SweepEngine:
             cache.store(result)
             self._note_done(results, estimates, workload, config, result)
             done += 1
+            if obs is not None:
+                obs.pair_done(workload, config, result)
             if progress is not None:
                 progress(workload, config, done, len(todo))
 
@@ -311,6 +381,8 @@ class SweepEngine:
                 shm.unlink()
 
         done = 0
+        obs = self.obs
+        carrier = obs.worker_carrier() if obs is not None else None
         try:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 inflight = {}
@@ -319,14 +391,18 @@ class SweepEngine:
                         _idx, workload, config = heapq.heappop(ready)
                         future = pool.submit(_worker_run_pair, workload,
                                              config, publish(workload),
-                                             cache_root)
+                                             cache_root, carrier)
                         inflight[future] = (workload, config)
+                        if obs is not None:
+                            obs.pair_started(workload, config)
                     t0 = perf_counter()
                     completed, _ = wait(inflight, return_when=FIRST_COMPLETED)
                     self._charge("wait", t0)
                     for future in completed:
                         workload, config = inflight.pop(future)
-                        _w, _c, payload = future.result()
+                        _w, _c, payload, delta = future.result()
+                        for key, count in delta.items():
+                            cache.counters[key] += count
                         result = SimResult.from_dict(payload)
                         self._note_done(results, estimates, workload, config,
                                         result)
@@ -340,6 +416,8 @@ class SweepEngine:
                                 heapq.heappush(ready,
                                                (base + offset,) + pair)
                         done += 1
+                        if obs is not None:
+                            obs.pair_done(workload, config, result)
                         if progress is not None:
                             progress(workload, config, done, len(todo))
         finally:
@@ -362,7 +440,7 @@ class SweepEngine:
 def run_pairs(pairs: Iterable[Pair], jobs: int = 1,
               cache: Optional[ResultCache] = None,
               progress: Optional[ProgressFn] = None,
-              profiler=None) -> Dict[Pair, SimResult]:
+              profiler=None, obs=None) -> Dict[Pair, SimResult]:
     """Convenience wrapper: one :class:`SweepEngine` run."""
-    return SweepEngine(jobs=jobs, cache=cache,
-                       profiler=profiler).run(pairs, progress=progress)
+    return SweepEngine(jobs=jobs, cache=cache, profiler=profiler,
+                       obs=obs).run(pairs, progress=progress)

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments.run_all [--list] [--jobs N] [--pairs REGEX]
+                                        [--obs-dir DIR]
 
 Runs every (workload, configuration) pair any benchmark needs through the
 pair-granular sweep engine (:mod:`repro.experiments.pool`), reusing the
@@ -12,6 +13,14 @@ fan-out; simulation is deterministic, so parallel and serial fills
 produce identical caches. ``--pairs REGEX`` restricts the fill to pairs
 whose ``workload::config`` key matches (e.g. ``--pairs 'server.*::ubs'``
 or ``--pairs '::conv'`` for every conventional configuration).
+
+Progress is rendered live — a redrawing status line (done/total, cache
+hits, in-flight pairs, an ETA calibrated from the estimates sidecar) on
+a TTY, one plain line per pair otherwise. With ``--obs-dir DIR`` (or
+``REPRO_OBS_DIR``) the fill additionally writes a full run directory —
+``manifest.json``, cross-process ``spans.jsonl``, worker heartbeats and
+a final ``metrics.json`` — that ``python -m repro.obs report`` / ``tail``
+consume (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -19,7 +28,6 @@ from __future__ import annotations
 import argparse
 import re
 import sys
-import time
 from typing import List, Tuple
 
 from ..trace.workloads import WorkloadFamily, workload_names
@@ -97,10 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairs", type=_regex, default=None, metavar="REGEX",
         help="only fill pairs whose 'workload::config' key matches "
              "(re.search), e.g. 'server.*::ubs'")
+    parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="write run observability artifacts (manifest, span trace, "
+             "heartbeats, metrics) into DIR; defaults to $REPRO_OBS_DIR, "
+             "off when neither is set")
     return parser
 
 
 def main(argv: List[str]) -> int:
+    from ..obs import ProgressObs, RunObs, SweepProgress, resolve_obs_dir
+
     opts = build_parser().parse_args(argv)
     pairs = all_pairs()
     if opts.pairs is not None:
@@ -111,23 +126,44 @@ def main(argv: List[str]) -> int:
             print(w, c)
         return 0
     jobs = max(1, opts.jobs)
-    engine = SweepEngine(jobs=jobs, cache=default_cache())
-    start = time.time()
-
-    def progress(workload: str, config: str, done: int, total: int) -> None:
-        elapsed = time.time() - start
-        rate = done / elapsed if elapsed else 0.0
-        remaining = (total - done) / rate if rate else float("inf")
-        print(f"[{done}/{total}] {workload} {config} "
-              f"({elapsed:.0f}s elapsed, ~{remaining:.0f}s left)",
-              flush=True)
+    obs_dir = resolve_obs_dir(opts.obs_dir)
+    if obs_dir is not None:
+        obs = RunObs.create(
+            obs_dir, "run_all", argv=["run_all"] + list(argv),
+            config={"jobs": jobs, "pairs": len(pairs),
+                    "filter": opts.pairs.pattern if opts.pairs else None})
+    else:
+        obs = ProgressObs(SweepProgress())
+    cache = default_cache()
+    engine = SweepEngine(jobs=jobs, cache=cache, obs=obs)
 
     print(f"{len(pairs)} pairs selected "
           f"({jobs} job{'s' if jobs > 1 else ''})", flush=True)
-    engine.run(pairs, progress=progress)
+    status = "OK"
+    try:
+        engine.run(pairs)
+    except BaseException:
+        status = "ERROR"
+        raise
+    finally:
+        from ..telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache.register_metrics(registry)
+        metrics = registry.snapshot()
+        metrics.update({
+            "pairs_selected": len(pairs),
+            "pairs_simulated": engine.pairs_simulated,
+            "fill_seconds": round(engine.fill_seconds, 3),
+            "fill_pairs_per_min": round(engine.pairs_per_min, 1),
+        })
+        obs.finish(metrics=metrics, status=status)
     print(f"done: {engine.pairs_simulated} simulated in "
           f"{engine.fill_seconds:.1f}s "
-          f"({engine.pairs_per_min:.1f} pairs/min)", flush=True)
+          f"({engine.pairs_per_min:.1f} pairs/min; "
+          f"{cache.counters_line()})", flush=True)
+    if obs_dir is not None:
+        print(f"obs: {obs_dir}", flush=True)
     return 0
 
 

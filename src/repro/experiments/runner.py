@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import os
 import tempfile
 from pathlib import Path
@@ -44,12 +45,40 @@ def _default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Disk cache of simulation results and generated traces."""
+    """Disk cache of simulation results and generated traces.
+
+    Every instance counts its own behaviour in :attr:`counters` —
+    ``hits``/``misses`` partition :meth:`load` calls, ``stores`` counts
+    :meth:`store` calls, and ``corrupt_evicted`` counts the subset of
+    misses that deleted a damaged entry. The sweep engine merges its
+    workers' per-pair deltas back into the host cache's counters, so
+    after a fill they describe the whole run; :meth:`register_metrics`
+    exposes them as pull gauges on a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`.
+    """
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root else _default_cache_dir()
         (self.root / "results").mkdir(parents=True, exist_ok=True)
         (self.root / "traces").mkdir(parents=True, exist_ok=True)
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0, "corrupt_evicted": 0,
+        }
+
+    def register_metrics(self, registry,
+                         prefix: str = "result_cache") -> None:
+        """Expose the counters as pull gauges (``result_cache.hits``,
+        ``.misses``, ``.stores``, ``.corrupt_evicted``)."""
+        for name in self.counters:
+            registry.gauge(f"{prefix}.{name}",
+                           source=lambda n=name: self.counters[n])
+
+    def counters_line(self) -> str:
+        """One-line human summary, used by ``run_all``'s exit line."""
+        c = self.counters
+        return (f"cache {c['hits']} hits / {c['misses']} misses / "
+                f"{c['stores']} stored / {c['corrupt_evicted']} "
+                f"corrupt-evicted")
 
     def _result_path(self, workload: str, config: str) -> Path:
         scale = scale_factor()
@@ -67,22 +96,36 @@ class ResultCache:
         scale = scale_factor()
         return self.root / f"estimates__s{scale:g}.json"
 
-    def load(self, workload: str, config: str) -> Optional[SimResult]:
+    def load(self, workload: str, config: str,
+             count: bool = True) -> Optional[SimResult]:
+        """Load one cached pair. ``count=False`` keeps the lookup out of
+        the hit/miss counters — used by the pool worker's single-flight
+        re-check, whose miss the host's scan pass already counted (so a
+        parallel fill reports the same totals as a serial one)."""
         path = self._result_path(workload, config)
         if not path.exists():
+            if count:
+                self.counters["misses"] += 1
             return None
         try:
             with open(path) as fh:
-                return SimResult.from_dict(json.load(fh))
+                result = SimResult.from_dict(json.load(fh))
+            if count:
+                self.counters["hits"] += 1
+            return result
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             # A truncated or stale entry must not silently poison results:
             # warn, drop the file and let the caller re-simulate.
             _log.warning("discarding corrupt result cache entry %s (%s: %s)",
                          path, type(exc).__name__, exc)
             path.unlink(missing_ok=True)
+            if count:
+                self.counters["misses"] += 1
+            self.counters["corrupt_evicted"] += 1
             return None
 
     def store(self, result: SimResult) -> None:
+        self.counters["stores"] += 1
         # Concurrent writers of the same pair (parallel fills, overlapping
         # run_all invocations) must never corrupt an entry: write to a
         # uniquely named temp file in the same directory, then atomically
@@ -106,24 +149,63 @@ class ResultCache:
 
     # -- host timing estimates (sweep-engine scheduling) -------------------
 
+    @staticmethod
+    def _valid_estimate(key, value) -> bool:
+        """An estimate entry the scheduler can use: a ``workload::config``
+        key and a finite positive wall time."""
+        if not isinstance(key, str) or "::" not in key:
+            return False
+        try:
+            seconds = float(value)
+        except (TypeError, ValueError):
+            return False
+        return math.isfinite(seconds) and seconds > 0
+
     def load_estimates(self) -> Dict[str, float]:
         """Measured ``sim_wall_seconds`` per ``"workload::config"`` at the
-        current scale; the sweep engine orders cold pairs by these."""
+        current scale; the sweep engine orders cold pairs by these.
+
+        A missing sidecar is the normal cold-start case and reads as
+        empty with no warning (the engine falls back to its
+        deterministic footprint×config-weight ordering). Individual
+        stale or malformed entries are skipped — one bad key must not
+        throw away every usable measurement — and only a sidecar that is
+        not JSON at all earns a (single) warning before being ignored.
+        """
         path = self._estimates_path()
         if not path.exists():
             return {}
         try:
             with open(path) as fh:
                 data = json.load(fh)
-            return {k: float(v) for k, v in data.items()}
-        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+        except (OSError, json.JSONDecodeError) as exc:
+            _log.warning("ignoring unreadable estimates sidecar %s (%s)",
+                         path, exc)
             return {}
+        if not isinstance(data, dict):
+            _log.warning("ignoring estimates sidecar %s (not an object)",
+                         path)
+            return {}
+        return {k: float(v) for k, v in data.items()
+                if self._valid_estimate(k, v)}
 
     def store_estimates(self, estimates: Dict[str, float]) -> None:
         """Merge ``estimates`` into the sidecar (atomic replace; a lost
-        update from a concurrent fill only costs scheduling accuracy)."""
+        update from a concurrent fill only costs scheduling accuracy).
+
+        Rewrites prune stale keys: entries naming a workload that no
+        longer exists (renamed suites, deleted families) would otherwise
+        ride along forever and mis-order future fills.
+        """
+        from ..trace.workloads import workload_names
+
         merged = self.load_estimates()
-        merged.update(estimates)
+        merged.update(
+            {k: v for k, v in estimates.items()
+             if self._valid_estimate(k, v)})
+        known = set(workload_names())
+        merged = {k: v for k, v in merged.items()
+                  if k.split("::", 1)[0] in known}
         self._atomic_write(self._estimates_path(),
                            json.dumps(merged, sort_keys=True))
 

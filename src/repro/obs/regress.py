@@ -1,0 +1,129 @@
+"""Perf-trend and regression analysis over the BENCH_*.json chain.
+
+The repo's performance history is a chain of committed snapshots: the
+frozen pre-optimization ``benchmarks/perf/baseline.json``, then one
+``BENCH_<date>.json`` per recorded measurement at the repo root, plus —
+when ``tools/perfgate.py`` ran with ``--obs-dir`` — fresh snapshots
+under ``<obs-dir>/bench/``. ``repro.obs regress`` walks that chain
+oldest-first and prints a trend table of the two headline throughput
+metrics (geomean simulated cycles per host second; best cold-fill pairs
+per minute), flagging any entry whose geomean drops below
+``(1 - tolerance)`` of the *previous entry of the same suite* — smoke
+and full suites time different pair sets, so comparing across them would
+manufacture fake regressions.
+
+Committed BENCH files are a single reference machine's trajectory;
+cross-host comparisons (CI) should pass a generous ``--tolerance``, the
+same discipline ``tools/perfgate.py`` applies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def load_bench(path: Path) -> Optional[Dict[str, Any]]:
+    """One snapshot, or ``None`` when the file isn't a bench report."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or "geomean_cycles_per_sec" not in data:
+        return None
+    return data
+
+
+def bench_chain(root, obs_dir=None) -> List[Tuple[str, Dict[str, Any]]]:
+    """``(label, snapshot)`` oldest-first: frozen baseline, committed
+    ``BENCH_*.json`` (date-sorted via their names), then obs-dir
+    snapshots from the current run."""
+    root = Path(root)
+    chain: List[Tuple[str, Dict[str, Any]]] = []
+    frozen = root / "benchmarks" / "perf" / "baseline.json"
+    if frozen.exists():
+        data = load_bench(frozen)
+        if data is not None:
+            chain.append(("baseline (frozen)", data))
+    for path in sorted(root.glob("BENCH_*.json")):
+        data = load_bench(path)
+        if data is not None:
+            chain.append((path.name, data))
+    if obs_dir is not None:
+        bench_dir = Path(obs_dir) / "bench"
+        if bench_dir.is_dir():
+            for path in sorted(bench_dir.glob("*.json")):
+                data = load_bench(path)
+                if data is not None:
+                    chain.append((f"obs:{path.name}", data))
+    return chain
+
+
+def analyze(chain: List[Tuple[str, Dict[str, Any]]],
+            tolerance: float) -> Dict[str, Any]:
+    """Trend rows + regression verdicts (pure data; see ``render``)."""
+    rows: List[Dict[str, Any]] = []
+    last_by_suite: Dict[str, Dict[str, Any]] = {}
+    regressions: List[str] = []
+    for label, data in chain:
+        suite = data.get("suite", "full")
+        geomean = float(data["geomean_cycles_per_sec"])
+        fill = data.get("fill_pairs_per_min")
+        prev = last_by_suite.get(suite)
+        ratio = None
+        flagged = False
+        if prev is not None:
+            ratio = geomean / float(prev["geomean_cycles_per_sec"])
+            flagged = ratio < 1.0 - tolerance
+        if flagged:
+            regressions.append(label)
+        rows.append({
+            "label": label,
+            "date": data.get("date", "?"),
+            "suite": suite,
+            "geomean_cycles_per_sec": geomean,
+            "fill_pairs_per_min": fill,
+            "ratio_vs_prev": None if ratio is None else round(ratio, 4),
+            "regression": flagged,
+        })
+        last_by_suite[suite] = data
+    return {
+        "tolerance": tolerance,
+        "entries": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render(analysis: Dict[str, Any]) -> str:
+    """The human-readable trend table."""
+    from ..experiments.report import format_table
+
+    rows = []
+    for entry in analysis["entries"]:
+        fill = entry["fill_pairs_per_min"]
+        ratio = entry["ratio_vs_prev"]
+        rows.append((
+            entry["label"],
+            entry["date"],
+            entry["suite"],
+            f"{entry['geomean_cycles_per_sec']:,.0f}",
+            "—" if ratio is None else f"{ratio:.2f}x",
+            "—" if fill is None else f"{fill:.1f}",
+            "REGRESSION" if entry["regression"] else "",
+        ))
+    lines = [
+        "perf trend (oldest first; Δ vs previous entry of the same suite):",
+        format_table(("entry", "date", "suite", "geomean c/s", "Δ",
+                      "fill p/min", ""), rows),
+        "",
+    ]
+    if analysis["ok"]:
+        lines.append(f"no regressions beyond "
+                     f"{analysis['tolerance']:.0%} tolerance")
+    else:
+        lines.append(
+            f"REGRESSIONS ({analysis['tolerance']:.0%} tolerance): "
+            + ", ".join(analysis["regressions"]))
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Span-tree reconstruction and reporting.
+
+Reads one run directory's ``spans.jsonl`` (plus ``manifest.json`` /
+``metrics.json``) and answers "where did the wall-clock go": the span
+tree rendered flamegraph-style in ASCII, per-name self-time rollups, the
+critical path (the chain of longest spans from the root), and a
+wall-clock *coverage* figure — what fraction of the run's measured wall
+time the span tree accounts for (the obs-smoke CI gate requires ≥ 95%).
+
+Everything is derived from the records alone, so the same code reports
+live runs (partial trees: unfinished spans are simply absent, and spans
+whose parent never completed are rendered as extra roots).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .runs import ObsRun
+from .spans import read_spans
+
+NANOS = 1e9
+
+
+class SpanNode:
+    """One span plus its children, ordered by start time."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Dict[str, Any]) -> None:
+        self.record = record
+        self.children: List["SpanNode"] = []
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span_id"]
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def start_ns(self) -> int:
+        return self.record["start_time_unix_nano"]
+
+    @property
+    def end_ns(self) -> int:
+        return self.record["end_time_unix_nano"]
+
+    @property
+    def duration_s(self) -> float:
+        return max(0, self.end_ns - self.start_ns) / NANOS
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (children can overlap the
+        parent only, not each other, in this tree's workloads — but clamp
+        to zero anyway so parallel children cannot go negative)."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    @property
+    def label(self) -> str:
+        attrs = self.record.get("attributes") or {}
+        key = attrs.get("key")
+        return f"{self.name} {key}" if key else self.name
+
+
+def build_tree(spans: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Parent-link the records into root nodes (usually exactly one).
+
+    Spans with an unknown parent (their parent was in flight when the
+    run died) become additional roots rather than being dropped — a
+    post-mortem must show them.
+    """
+    nodes = {record["span_id"]: SpanNode(record) for record in spans}
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = node.record.get("parent_span_id")
+        if parent is not None and parent in nodes:
+            nodes[parent].children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.start_ns, n.span_id))
+    roots.sort(key=lambda n: (n.start_ns, n.span_id))
+    return roots
+
+
+def critical_path(root: SpanNode) -> List[SpanNode]:
+    """The chain of longest-duration children from ``root`` down."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda n: (n.duration_s, n.span_id))
+        path.append(node)
+    return path
+
+
+def rollups(roots: List[SpanNode]) -> Dict[str, Dict[str, Any]]:
+    """Per-name aggregate: count, total seconds, self seconds."""
+    out: Dict[str, Dict[str, Any]] = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        agg = out.setdefault(node.name,
+                             {"count": 0, "total_s": 0.0, "self_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += node.duration_s
+        agg["self_s"] += node.self_s
+        stack.extend(node.children)
+    for agg in out.values():
+        agg["total_s"] = round(agg["total_s"], 6)
+        agg["self_s"] = round(agg["self_s"], 6)
+    return out
+
+
+def wall_seconds(obs_dir, roots: List[SpanNode]) -> float:
+    """The run's measured wall clock: manifest→metrics when the run
+    finished cleanly, span extents as the post-mortem fallback."""
+    metrics = ObsRun.load_metrics(obs_dir)
+    if metrics is not None:
+        return float(metrics["wall_seconds"])
+    if not roots:
+        return 0.0
+    starts = [r.start_ns for r in roots]
+    ends = [r.end_ns for r in roots]
+    return max(0, max(ends) - min(starts)) / NANOS
+
+
+def coverage(roots: List[SpanNode], wall: float) -> float:
+    """Fraction of the wall clock the root spans account for."""
+    if wall <= 0:
+        return 0.0
+    covered = sum(r.duration_s for r in roots)
+    return min(1.0, covered / wall)
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _render_node(node: SpanNode, wall: float, lines: List[str],
+                 prefix: str, is_last: bool, on_path: set,
+                 max_children: int) -> None:
+    connector = "" if not prefix and is_last is None else \
+        ("└─ " if is_last else "├─ ")
+    share = node.duration_s / wall if wall else 0.0
+    mark = " ◆" if node.span_id in on_path else ""
+    lines.append(f"{prefix}{connector}{node.label:<40s} "
+                 f"{node.duration_s:9.3f}s {share:7.1%}"
+                 f"  (self {node.self_s:.3f}s){mark}")
+    child_prefix = prefix + ("" if is_last is None else
+                             ("   " if is_last else "│  "))
+    children = node.children
+    hidden: List[SpanNode] = []
+    if len(children) > max_children:
+        # Keep the longest spans visible; the tail is summarised.
+        keep = set(id(c) for c in sorted(
+            children, key=lambda n: -n.duration_s)[:max_children])
+        shown = [c for c in children if id(c) in keep]
+        hidden = [c for c in children if id(c) not in keep]
+    else:
+        shown = children
+    for i, child in enumerate(shown):
+        last = (i == len(shown) - 1) and not hidden
+        _render_node(child, wall, lines, child_prefix, last, on_path,
+                     max_children)
+    if hidden:
+        total = sum(c.duration_s for c in hidden)
+        lines.append(f"{child_prefix}└─ … {len(hidden)} more spans "
+                     f"({total:.3f}s)")
+
+
+def report_data(obs_dir) -> Dict[str, Any]:
+    """Everything ``report --json`` emits, as plain data."""
+    obs_dir = Path(obs_dir)
+    spans = read_spans(obs_dir / "spans.jsonl")
+    roots = build_tree(spans)
+    wall = wall_seconds(obs_dir, roots)
+
+    def node_blob(node: SpanNode) -> Dict[str, Any]:
+        return {
+            "name": node.name,
+            "label": node.label,
+            "span_id": node.span_id,
+            "start_time_unix_nano": node.start_ns,
+            "duration_s": round(node.duration_s, 6),
+            "self_s": round(node.self_s, 6),
+            "status": node.record.get("status"),
+            "pid": node.record.get("pid"),
+            "attributes": node.record.get("attributes") or {},
+            "children": [node_blob(c) for c in node.children],
+        }
+
+    try:
+        manifest = ObsRun.load_manifest(obs_dir)
+    except FileNotFoundError:
+        manifest = {}
+    path = critical_path(roots[0]) if roots else []
+    return {
+        "manifest": manifest,
+        "metrics": ObsRun.load_metrics(obs_dir),
+        "spans": len(spans),
+        "wall_seconds": round(wall, 6),
+        "coverage": round(coverage(roots, wall), 6),
+        "tree": [node_blob(r) for r in roots],
+        "rollups": rollups(roots),
+        "critical_path": [
+            {"label": n.label, "duration_s": round(n.duration_s, 6)}
+            for n in path
+        ],
+    }
+
+
+def render_report(obs_dir, max_children: int = 12) -> str:
+    """The human-readable span-tree report."""
+    obs_dir = Path(obs_dir)
+    spans = read_spans(obs_dir / "spans.jsonl")
+    roots = build_tree(spans)
+    wall = wall_seconds(obs_dir, roots)
+    try:
+        manifest = ObsRun.load_manifest(obs_dir)
+    except FileNotFoundError:
+        manifest = {}
+    metrics = ObsRun.load_metrics(obs_dir)
+
+    lines: List[str] = []
+    head = manifest.get("kind", "run")
+    run_id = manifest.get("run_id", "?")[:12]
+    lines.append(f"run {run_id}  kind={head}  "
+                 f"host={manifest.get('host', {}).get('hostname', '?')}  "
+                 f"git={str(manifest.get('git_rev', '?'))[:12]}  "
+                 f"scale={manifest.get('scale', '?')}")
+    status = metrics.get("status") if metrics else "LIVE/DIED"
+    lines.append(f"wall {wall:.3f}s  spans {len(spans)}  "
+                 f"coverage {coverage(roots, wall):.1%}  status {status}")
+    if not spans:
+        lines.append("no spans recorded")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append("span tree (◆ = critical path):")
+    on_path = {n.span_id for n in (critical_path(roots[0]) if roots else [])}
+    for root in roots:
+        _render_node(root, wall, lines, "", None, on_path, max_children)
+    lines.append("")
+    lines.append("per-name rollup (self time is time not in child spans):")
+    agg = rollups(roots)
+    for name in sorted(agg, key=lambda n: -agg[n]["total_s"]):
+        row = agg[name]
+        share = row["self_s"] / wall if wall else 0.0
+        lines.append(f"  {name:<16s} x{row['count']:<5d} "
+                     f"total {row['total_s']:9.3f}s  "
+                     f"self {row['self_s']:9.3f}s ({share:6.1%} of wall)")
+    return "\n".join(lines)

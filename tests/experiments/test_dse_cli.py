@@ -119,3 +119,67 @@ class TestKillResume:
         # against an empty result cache.
         replay = run_cli(out, tmp_path / "cache_cold", "--jobs", "1")
         assert "evals 4 resumed 4 simulated-pairs 0" in replay.stdout
+
+
+@pytest.mark.slow
+class TestObsDir:
+    def test_generation_spans_nest_sweeps(self, tmp_path):
+        from repro.obs.report import report_data
+
+        obs_dir = tmp_path / "obs"
+        run_cli(tmp_path / "search", tmp_path / "cache",
+                "--jobs", "2", "--obs-dir", str(obs_dir))
+        data = report_data(obs_dir)
+        assert data["manifest"]["kind"] == "dse"
+        assert data["metrics"]["status"] == "OK"
+        (root,) = data["tree"]
+        gens = [c for c in root["children"] if c["name"].startswith("gen")]
+        assert gens                       # at least one generation span
+        # Each simulated pair's span sits under a sweep under its
+        # generation; cached evaluations contribute no sweep at all.
+        pair_keys = [
+            pair["attributes"]["key"]
+            for gen in gens for sweep in gen["children"]
+            for pair in sweep["children"]]
+        assert len(pair_keys) == len(set(pair_keys))
+        assert data["metrics"]["metrics"]["pairs_simulated"] == \
+            len(pair_keys)
+        assert data["coverage"] >= 0.95
+
+    def test_sigkill_leaves_readable_spans(self, tmp_path):
+        """A SIGKILLed run's spans.jsonl must still parse line-by-line
+        (at worst a truncated final line), and report must render the
+        partial tree post-mortem."""
+        from repro.obs.report import report_data
+        from repro.obs.spans import read_spans
+
+        out = tmp_path / "search"
+        obs_dir = tmp_path / "obs"
+        spans_path = obs_dir / "spans.jsonl"
+        proc = subprocess.Popen(
+            BASE_ARGS + ["--out", str(out), "--jobs", "2",
+                         "--obs-dir", str(obs_dir)],
+            env=dse_env(tmp_path / "cache"), cwd=REPO,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.time() + 300
+            while time.time() < deadline:
+                if spans_path.exists() and spans_path.stat().st_size > 0:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("no span was ever written")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+        spans = read_spans(spans_path)    # must not raise
+        assert spans
+        for record in spans:
+            assert record["trace_id"] == spans[0]["trace_id"]
+        # The run died before finish(): no metrics.json, report falls
+        # back to span extents and labels the run as not finished.
+        assert not (obs_dir / "metrics.json").exists()
+        data = report_data(obs_dir)
+        assert data["metrics"] is None
+        assert data["spans"] == len(spans)

@@ -116,3 +116,58 @@ class TestFill:
                             ["--pairs", "client_000::"])
         assert len(filled) == 2
         assert all(name.startswith("client_000__") for name in filled)
+
+
+class TestObsDir:
+    """--obs-dir turns a fill into a queryable run directory."""
+
+    PAIRS = [("client_000", "conv32"), ("client_000", "ubs"),
+             ("client_001", "conv32"), ("client_001", "ubs")]
+
+    def _fill(self, tmp_path, monkeypatch, argv):
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(runner_mod, "_default_cache", None)
+        monkeypatch.setattr(run_all_mod, "all_pairs", lambda: self.PAIRS)
+        assert main(argv) == 0
+
+    def test_run_dir_artifacts(self, tmp_path, monkeypatch, capsys):
+        obs_dir = tmp_path / "obs"
+        self._fill(tmp_path, monkeypatch,
+                   ["--jobs", "2", "--obs-dir", str(obs_dir)])
+        assert (obs_dir / "manifest.json").exists()
+        assert (obs_dir / "spans.jsonl").exists()
+        assert (obs_dir / "metrics.json").exists()
+        manifest = json.loads((obs_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "run_all"
+        assert manifest["config"]["jobs"] == 2
+        metrics = json.loads((obs_dir / "metrics.json").read_text())
+        assert metrics["status"] == "OK"
+        assert metrics["metrics"]["pairs_simulated"] == len(self.PAIRS)
+        assert metrics["metrics"]["result_cache.stores"] == len(self.PAIRS)
+        out = capsys.readouterr().out
+        assert "cache 0 hits / 4 misses / 4 stored" in out
+        assert f"obs: {obs_dir}" in out
+
+    def test_report_covers_every_pair(self, tmp_path, monkeypatch):
+        from repro.obs.report import report_data
+
+        obs_dir = tmp_path / "obs"
+        self._fill(tmp_path, monkeypatch,
+                   ["--jobs", "2", "--obs-dir", str(obs_dir)])
+        data = report_data(obs_dir)
+        (sweep,) = data["tree"][0]["children"]
+        keys = sorted(c["attributes"]["key"] for c in sweep["children"])
+        assert keys == sorted(f"{w}::{c}" for w, c in self.PAIRS)
+        assert data["coverage"] >= 0.95
+
+    def test_env_var_equivalent(self, tmp_path, monkeypatch):
+        obs_dir = tmp_path / "obs-env"
+        monkeypatch.setenv("REPRO_OBS_DIR", str(obs_dir))
+        self._fill(tmp_path, monkeypatch, [])
+        assert (obs_dir / "metrics.json").exists()
+
+    def test_no_obs_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        self._fill(tmp_path, monkeypatch, [])
+        assert not list(tmp_path.glob("**/spans.jsonl"))

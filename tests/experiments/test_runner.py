@@ -95,3 +95,121 @@ class TestSweep:
             [("client_000", "conv32")]
         run_pair("client_000", "conv32")
         assert missing_pairs(["client_000"], ["conv32"]) == []
+
+
+class TestCounters:
+    """ResultCache hit/miss/store/corrupt-evict accounting."""
+
+    def test_fresh_cache_zeroed(self, isolated_cache):
+        assert isolated_cache.counters == {
+            "hits": 0, "misses": 0, "stores": 0, "corrupt_evicted": 0}
+
+    def test_miss_hit_store(self, isolated_cache):
+        assert isolated_cache.load("client_000", "conv32") is None
+        run_pair("client_000", "conv32")      # load (miss) + store
+        isolated_cache.load("client_000", "conv32")
+        c = isolated_cache.counters
+        assert c["misses"] == 2 and c["stores"] == 1 and c["hits"] == 1
+
+    def test_uncounted_load(self, isolated_cache):
+        assert isolated_cache.load("client_000", "conv32",
+                                   count=False) is None
+        run_pair("client_000", "conv32")
+        isolated_cache.load("client_000", "conv32", count=False)
+        c = isolated_cache.counters
+        assert c["hits"] == 0
+        assert c["misses"] == 1               # run_pair's own miss only
+
+    def test_corrupt_entry_counted_and_evicted(self, isolated_cache):
+        run_pair("client_000", "conv32")
+        path = isolated_cache._result_path("client_000", "conv32")
+        path.write_text("{not json")
+        assert isolated_cache.load("client_000", "conv32") is None
+        c = isolated_cache.counters
+        assert c["corrupt_evicted"] == 1
+        assert c["misses"] == 2               # initial fill miss + this one
+
+    def test_counters_line(self, isolated_cache):
+        run_pair("client_000", "conv32")
+        run_pair("client_000", "conv32")
+        assert isolated_cache.counters_line() == \
+            "cache 1 hits / 1 misses / 1 stored / 0 corrupt-evicted"
+
+    def test_register_metrics_pull_gauges(self, isolated_cache):
+        from repro.telemetry import MetricsRegistry
+        registry = MetricsRegistry()
+        isolated_cache.register_metrics(registry)
+        run_pair("client_000", "conv32")
+        snap = registry.snapshot()
+        # Pull gauges: the snapshot reflects counts at snapshot time.
+        assert snap["result_cache.misses"] == 1
+        assert snap["result_cache.stores"] == 1
+        run_pair("client_000", "conv32")
+        assert registry.snapshot()["result_cache.hits"] == 1
+
+
+class TestEstimatesSidecar:
+    """Scheduling-estimate persistence: tolerant reads, pruned writes."""
+
+    def test_missing_sidecar_silently_empty(self, isolated_cache, caplog):
+        import logging
+        with caplog.at_level(logging.WARNING, "repro.experiments.runner"):
+            assert isolated_cache.load_estimates() == {}
+        assert not caplog.records
+
+    def test_round_trip(self, isolated_cache):
+        isolated_cache.store_estimates({"client_000::conv32": 1.5})
+        assert isolated_cache.load_estimates() == {"client_000::conv32": 1.5}
+
+    def test_merge_keeps_other_keys(self, isolated_cache):
+        isolated_cache.store_estimates({"client_000::conv32": 1.0})
+        isolated_cache.store_estimates({"client_001::ubs": 2.0})
+        assert isolated_cache.load_estimates() == {
+            "client_000::conv32": 1.0, "client_001::ubs": 2.0}
+
+    def test_invalid_entries_skipped_individually(self, isolated_cache):
+        import json
+        isolated_cache._estimates_path().write_text(json.dumps({
+            "client_000::conv32": 1.5,     # good
+            "no-separator": 2.0,           # bad key
+            "client_001::ubs": "soon",     # bad value
+            "client_002::ubs": -1.0,       # non-positive
+            "client_003::ubs": None,       # not coercible
+        }))
+        assert isolated_cache.load_estimates() == {"client_000::conv32": 1.5}
+
+    def test_nan_and_inf_rejected(self, isolated_cache):
+        isolated_cache._estimates_path().write_text(
+            '{"client_000::conv32": NaN, "client_001::ubs": Infinity}')
+        assert isolated_cache.load_estimates() == {}
+
+    def test_non_object_sidecar_warns_once(self, isolated_cache, caplog):
+        import logging
+        isolated_cache._estimates_path().write_text("[1, 2, 3]")
+        with caplog.at_level(logging.WARNING, "repro.experiments.runner"):
+            assert isolated_cache.load_estimates() == {}
+        assert len(caplog.records) == 1
+
+    def test_unreadable_sidecar_warns_once(self, isolated_cache, caplog):
+        import logging
+        isolated_cache._estimates_path().write_text("{broken")
+        with caplog.at_level(logging.WARNING, "repro.experiments.runner"):
+            assert isolated_cache.load_estimates() == {}
+        assert len(caplog.records) == 1
+
+    def test_rewrite_prunes_stale_workloads(self, isolated_cache):
+        import json
+        isolated_cache._estimates_path().write_text(json.dumps({
+            "client_000::conv32": 1.0,
+            "renamed_suite_007::conv32": 2.0,     # workload no longer exists
+        }))
+        isolated_cache.store_estimates({"client_001::ubs": 3.0})
+        kept = isolated_cache.load_estimates()
+        assert "renamed_suite_007::conv32" not in kept
+        assert kept == {"client_000::conv32": 1.0, "client_001::ubs": 3.0}
+
+    def test_store_drops_invalid_fresh_entries(self, isolated_cache):
+        isolated_cache.store_estimates({
+            "client_000::conv32": 1.0, "bad key": 1.0,
+            "client_001::ubs": 0.0})
+        assert isolated_cache.load_estimates() == {"client_000::conv32": 1.0}

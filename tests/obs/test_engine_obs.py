@@ -1,0 +1,142 @@
+"""Cross-process span propagation through the sweep engine.
+
+The ISSUE-level guarantee: the span tree has the same shape at every
+``--jobs`` level — worker processes carry the host's trace context
+through the pool's submit path and emit their pair spans into the same
+``spans.jsonl``, so ``report`` reconstructs one connected tree either
+way. Runs at ``REPRO_SCALE=0.03`` like the pool tests.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.pool import SweepEngine
+from repro.experiments.runner import ResultCache
+from repro.obs import ProgressObs, RunObs
+from repro.obs.report import build_tree, coverage, wall_seconds
+from repro.obs.runs import ObsRun, read_heartbeats
+from repro.obs.spans import read_spans
+
+PAIRS = [
+    ("server_000", "conv32"),
+    ("server_000", "ubs"),
+    ("client_000", "conv32"),
+    ("client_000", "ubs"),
+]
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.03")
+    monkeypatch.setattr(runner_mod, "_default_cache", None)
+
+
+def fill(tmp_path, jobs, name):
+    obs_dir = tmp_path / f"obs-{name}"
+    obs = RunObs.create(obs_dir, "run_all", argv=["test"], live=False)
+    cache = ResultCache(tmp_path / f"cache-{name}")
+    engine = SweepEngine(jobs=jobs, cache=cache, obs=obs)
+    engine.run(PAIRS)
+    obs.finish(metrics={"pairs_simulated": engine.pairs_simulated})
+    return obs_dir, cache
+
+
+def tree_shape(obs_dir):
+    """(root name, child names, pair keys) — jobs-invariant."""
+    (root,) = build_tree(read_spans(obs_dir / "spans.jsonl"))
+    (sweep,) = root.children
+    keys = sorted(c.record["attributes"]["key"] for c in sweep.children)
+    return root.name, sweep.name, keys
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+class TestSingleTree:
+    def test_one_connected_tree(self, tmp_path, jobs):
+        obs_dir, _ = fill(tmp_path, jobs, f"j{jobs}")
+        spans = read_spans(obs_dir / "spans.jsonl")
+        # Every span — including worker-emitted pair spans — shares the
+        # run's trace id.
+        manifest = ObsRun.load_manifest(obs_dir)
+        assert {s["trace_id"] for s in spans} == {manifest["trace_id"]}
+        roots = build_tree(spans)
+        assert len(roots) == 1
+
+    def test_tree_shape(self, tmp_path, jobs):
+        obs_dir, _ = fill(tmp_path, jobs, f"j{jobs}")
+        name, sweep_name, keys = tree_shape(obs_dir)
+        assert name == "run_all"
+        assert sweep_name == "sweep"
+        assert keys == sorted(f"{w}::{c}" for w, c in PAIRS)
+
+    def test_coverage_accounts_for_wall(self, tmp_path, jobs):
+        obs_dir, _ = fill(tmp_path, jobs, f"j{jobs}")
+        roots = build_tree(read_spans(obs_dir / "spans.jsonl"))
+        wall = wall_seconds(obs_dir, roots)
+        assert coverage(roots, wall) >= 0.95
+
+
+class TestPoolSpecifics:
+    def test_worker_pids_differ_from_host(self, tmp_path):
+        import os
+        obs_dir, _ = fill(tmp_path, 4, "pool")
+        spans = read_spans(obs_dir / "spans.jsonl")
+        pair_pids = {s["pid"] for s in spans if s["name"] == "pair"}
+        assert pair_pids          # pairs were traced
+        assert os.getpid() not in pair_pids
+        host_pids = {s["pid"] for s in spans if s["name"] != "pair"}
+        assert host_pids == {os.getpid()}
+
+    def test_worker_heartbeats_written(self, tmp_path):
+        obs_dir, _ = fill(tmp_path, 4, "hb")
+        beats = read_heartbeats(obs_dir)
+        assert beats              # at least one worker beat
+        total_done = sum(records[-1]["done"] for records in beats.values())
+        assert total_done == len(PAIRS)
+        for records in beats.values():
+            assert records[0]["state"] == "run"
+            assert records[-1]["state"] == "idle"
+
+    def test_inline_pairs_carry_host_pid(self, tmp_path):
+        import os
+        obs_dir, _ = fill(tmp_path, 1, "inline")
+        spans = read_spans(obs_dir / "spans.jsonl")
+        assert {s["pid"] for s in spans} == {os.getpid()}
+        # Inline runs have no pool workers, hence no heartbeat files.
+        assert read_heartbeats(obs_dir) == {}
+
+    def test_counters_match_serial(self, tmp_path):
+        _, serial_cache = fill(tmp_path, 1, "serial")
+        _, pool_cache = fill(tmp_path, 4, "parallel")
+        assert pool_cache.counters == serial_cache.counters
+        assert pool_cache.counters["stores"] == len(PAIRS)
+
+    def test_cached_pairs_get_no_spans(self, tmp_path):
+        obs_dir, cache = fill(tmp_path, 1, "warm")
+        # Second sweep over the same pairs: all cache hits, no new pair
+        # spans, and the engine must not even open a sweep span.
+        obs = RunObs.create(tmp_path / "obs-warm2", "run_all", live=False)
+        engine = SweepEngine(jobs=1, cache=cache, obs=obs)
+        engine.run(PAIRS)
+        obs.finish()
+        spans = read_spans(tmp_path / "obs-warm2" / "spans.jsonl")
+        assert [s["name"] for s in spans] == ["run_all"]
+
+
+class TestProgressObs:
+    def test_engine_runs_with_progress_only_observer(self, tmp_path):
+        import io
+        from repro.obs import SweepProgress
+
+        stream = io.StringIO()
+        obs = ProgressObs(SweepProgress(stream=stream, tty=False))
+        cache = ResultCache(tmp_path / "cache")
+        SweepEngine(jobs=1, cache=cache, obs=obs).run(PAIRS[:2])
+        obs.finish()
+        out = stream.getvalue()
+        assert "2 pairs (0 cached, 2 to simulate, 1 job)" in out
+        assert "[2/2]" in out
+
+    def test_engine_without_observer_unchanged(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        results = SweepEngine(jobs=1, cache=cache).run(PAIRS[:2])
+        assert len(results) == 2

@@ -1,0 +1,94 @@
+"""Perf-trend chain walking and regression flagging."""
+
+import json
+
+from repro.obs.regress import analyze, bench_chain, load_bench, render
+
+
+def bench(geomean, suite="full", date="2026-08-01", fill=None):
+    data = {"date": date, "suite": suite,
+            "geomean_cycles_per_sec": geomean}
+    if fill is not None:
+        data["fill_pairs_per_min"] = fill
+    return data
+
+
+def write(path, data):
+    path.write_text(json.dumps(data))
+
+
+class TestChain:
+    def test_order_and_sources(self, tmp_path):
+        (tmp_path / "benchmarks" / "perf").mkdir(parents=True)
+        write(tmp_path / "benchmarks" / "perf" / "baseline.json",
+              bench(100.0))
+        write(tmp_path / "BENCH_2026-08-02.json",
+              bench(120.0, date="2026-08-02"))
+        write(tmp_path / "BENCH_2026-08-01.json",
+              bench(110.0, date="2026-08-01"))
+        obs = tmp_path / "obs"
+        (obs / "bench").mkdir(parents=True)
+        write(obs / "bench" / "BENCH_2026-08-03.json",
+              bench(130.0, date="2026-08-03"))
+        labels = [label for label, _ in bench_chain(tmp_path, obs)]
+        assert labels == ["baseline (frozen)", "BENCH_2026-08-01.json",
+                          "BENCH_2026-08-02.json",
+                          "obs:BENCH_2026-08-03.json"]
+
+    def test_non_bench_json_skipped(self, tmp_path):
+        write(tmp_path / "BENCH_2026-08-01.json", {"something": "else"})
+        (tmp_path / "BENCH_2026-08-02.json").write_text("not json")
+        assert bench_chain(tmp_path) == []
+
+    def test_load_bench_missing(self, tmp_path):
+        assert load_bench(tmp_path / "absent.json") is None
+
+
+class TestAnalyze:
+    def test_improvement_not_flagged(self):
+        chain = [("a", bench(100.0)), ("b", bench(150.0))]
+        analysis = analyze(chain, tolerance=0.15)
+        assert analysis["ok"]
+        assert analysis["entries"][1]["ratio_vs_prev"] == 1.5
+
+    def test_regression_flagged(self):
+        chain = [("a", bench(100.0)), ("b", bench(80.0))]
+        analysis = analyze(chain, tolerance=0.15)
+        assert analysis["regressions"] == ["b"]
+        assert analysis["entries"][1]["regression"]
+
+    def test_within_tolerance_ok(self):
+        chain = [("a", bench(100.0)), ("b", bench(90.0))]
+        assert analyze(chain, tolerance=0.15)["ok"]
+
+    def test_suites_compared_independently(self):
+        # A smoke entry after a full entry must not read as a regression:
+        # the suites time different pair sets.
+        chain = [
+            ("full1", bench(100.0, suite="full")),
+            ("smoke1", bench(10.0, suite="smoke")),
+            ("full2", bench(95.0, suite="full")),
+            ("smoke2", bench(5.0, suite="smoke")),
+        ]
+        analysis = analyze(chain, tolerance=0.15)
+        assert analysis["regressions"] == ["smoke2"]
+        entries = {e["label"]: e for e in analysis["entries"]}
+        assert entries["smoke1"]["ratio_vs_prev"] is None
+        assert entries["full2"]["ratio_vs_prev"] == 0.95
+
+    def test_first_entry_never_flagged(self):
+        assert analyze([("only", bench(1.0))], tolerance=0.0)["ok"]
+
+
+class TestRender:
+    def test_table_and_verdict(self):
+        chain = [("a", bench(100.0, fill=50.0)), ("b", bench(80.0))]
+        text = render(analyze(chain, tolerance=0.15))
+        assert "perf trend" in text
+        assert "REGRESSION" in text
+        assert "50.0" in text
+        assert "REGRESSIONS (15% tolerance): b" in text
+
+    def test_clean_chain_message(self):
+        text = render(analyze([("a", bench(100.0))], tolerance=0.15))
+        assert "no regressions beyond 15% tolerance" in text

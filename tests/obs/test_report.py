@@ -1,0 +1,136 @@
+"""Span-tree reconstruction, critical path, rollups, coverage."""
+
+from repro.obs.report import (build_tree, coverage, critical_path,
+                              render_report, report_data, rollups)
+from repro.obs.runs import ObsRun
+from repro.obs.spans import SpanWriter
+
+S = 1_000_000_000     # one second in nanos
+
+
+def span(name, span_id, parent, start_s, end_s, **attrs):
+    return {
+        "name": name,
+        "trace_id": "t" * 32,
+        "span_id": span_id,
+        "parent_span_id": parent,
+        "start_time_unix_nano": int(start_s * S),
+        "end_time_unix_nano": int(end_s * S),
+        "status": "OK",
+        "pid": 1,
+        "attributes": attrs,
+    }
+
+
+def sample_spans():
+    return [
+        span("run", "r1", None, 0.0, 10.0),
+        span("sweep", "s1", "r1", 0.5, 9.5),
+        span("pair", "p1", "s1", 0.5, 6.5, key="w1::conv32"),
+        span("pair", "p2", "s1", 0.5, 3.5, key="w2::conv32"),
+    ]
+
+
+class TestTree:
+    def test_single_root(self):
+        roots = build_tree(sample_spans())
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "run"
+        assert [c.name for c in root.children] == ["sweep"]
+        assert len(root.children[0].children) == 2
+
+    def test_children_sorted_by_start(self):
+        spans = [
+            span("run", "r1", None, 0.0, 10.0),
+            span("b", "b1", "r1", 5.0, 6.0),
+            span("a", "a1", "r1", 1.0, 2.0),
+        ]
+        (root,) = build_tree(spans)
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_orphans_become_roots(self):
+        # The parent was in flight when the run died: its children must
+        # still be visible in the post-mortem.
+        spans = [span("pair", "p1", "gone", 0.0, 1.0)]
+        roots = build_tree(spans)
+        assert [r.name for r in roots] == ["pair"]
+
+    def test_durations_and_self_time(self):
+        (root,) = build_tree(sample_spans())
+        assert root.duration_s == 10.0
+        assert root.self_s == 1.0          # 10 - 9 (sweep)
+        sweep = root.children[0]
+        assert sweep.self_s == 0.0         # 9 - (6 + 3), parallel pairs
+
+    def test_label_includes_key(self):
+        (root,) = build_tree(sample_spans())
+        pair = root.children[0].children[0]
+        assert pair.label == "pair w1::conv32"
+
+
+class TestCriticalPath:
+    def test_longest_chain(self):
+        (root,) = build_tree(sample_spans())
+        path = critical_path(root)
+        assert [n.name for n in path] == ["run", "sweep", "pair"]
+        assert path[-1].record["attributes"]["key"] == "w1::conv32"
+
+
+class TestRollups:
+    def test_per_name_aggregation(self):
+        agg = rollups(build_tree(sample_spans()))
+        assert agg["pair"]["count"] == 2
+        assert agg["pair"]["total_s"] == 9.0
+        assert agg["run"]["self_s"] == 1.0
+
+    def test_coverage(self):
+        roots = build_tree(sample_spans())
+        assert coverage(roots, 10.0) == 1.0
+        assert coverage(roots, 20.0) == 0.5
+        assert coverage(roots, 0.0) == 0.0
+
+
+class TestRendering:
+    def _run_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        run = ObsRun(tmp_path / "run", "run_all")
+        writer = SpanWriter(tmp_path / "run" / "spans.jsonl")
+        root_id = run.tracer.current_span_id
+        writer.write(span("sweep", "s1", root_id, 0.0, 1.0))
+        for i in range(4):
+            writer.write(span("pair", f"p{i}", "s1", 0.0, 0.1 * (i + 1),
+                              key=f"w{i}::conv32"))
+        run.finish(metrics={"pairs_simulated": 4})
+        return tmp_path / "run"
+
+    def test_render_report(self, tmp_path, monkeypatch):
+        obs_dir = self._run_dir(tmp_path, monkeypatch)
+        text = render_report(obs_dir)
+        assert "kind=run_all" in text
+        assert "status OK" in text
+        assert "span tree" in text
+        assert "w3::conv32" in text
+        assert "per-name rollup" in text
+
+    def test_max_children_summarises_tail(self, tmp_path, monkeypatch):
+        obs_dir = self._run_dir(tmp_path, monkeypatch)
+        text = render_report(obs_dir, max_children=2)
+        assert "… 2 more spans" in text
+        # The longest pairs stay visible; the shortest are summarised.
+        assert "w3::conv32" in text
+        assert "w0::conv32" not in text
+
+    def test_report_data_blob(self, tmp_path, monkeypatch):
+        obs_dir = self._run_dir(tmp_path, monkeypatch)
+        data = report_data(obs_dir)
+        assert data["spans"] == 6     # root + sweep + 4 pairs
+        assert data["metrics"]["metrics"]["pairs_simulated"] == 4
+        assert data["tree"][0]["name"] == "run_all"
+        assert [n["label"] for n in data["critical_path"]][:2] == \
+            ["run_all", "sweep"]
+        assert 0.0 <= data["coverage"] <= 1.0
+
+    def test_empty_dir_reports_no_spans(self, tmp_path):
+        text = render_report(tmp_path)
+        assert "no spans recorded" in text

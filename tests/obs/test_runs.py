@@ -1,0 +1,91 @@
+"""Run directories: manifest, metrics, heartbeats, obs-dir resolution."""
+
+import json
+
+import pytest
+
+from repro.obs.runs import (OBS_DIR_ENV, Heartbeat, ObsRun, read_heartbeats,
+                            resolve_obs_dir)
+from repro.obs.spans import read_spans
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.03")
+
+
+class TestResolveObsDir:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(OBS_DIR_ENV, raising=False)
+        assert resolve_obs_dir(None) is None
+
+    def test_env_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_obs_dir(None) == tmp_path / "env"
+
+    def test_cli_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_obs_dir(str(tmp_path / "cli")) == tmp_path / "cli"
+
+
+class TestObsRun:
+    def test_manifest_written_at_start(self, tmp_path):
+        run = ObsRun(tmp_path / "run", "run_all", argv=["run_all", "--jobs",
+                                                        "2"],
+                     config={"jobs": 2})
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert manifest["kind"] == "run_all"
+        assert manifest["run_id"] == run.run_id
+        assert manifest["trace_id"] == run.tracer.trace_id
+        assert manifest["argv"] == ["run_all", "--jobs", "2"]
+        assert manifest["config"] == {"jobs": 2}
+        assert manifest["scale"] == pytest.approx(0.03)
+        assert "hostname" in manifest["host"]
+        assert manifest["git_rev"]
+        run.finish()
+
+    def test_finish_writes_metrics_and_root_span(self, tmp_path):
+        run = ObsRun(tmp_path / "run", "dse")
+        run.finish(metrics={"pairs": 3})
+        metrics = ObsRun.load_metrics(tmp_path / "run")
+        assert metrics["status"] == "OK"
+        assert metrics["metrics"] == {"pairs": 3}
+        assert metrics["wall_seconds"] >= 0
+        (root,) = read_spans(tmp_path / "run" / "spans.jsonl")
+        assert root["name"] == "dse"
+        assert root["parent_span_id"] is None
+        assert root["status"] == "OK"
+
+    def test_finish_error_status(self, tmp_path):
+        run = ObsRun(tmp_path / "run", "dse")
+        run.finish(status="ERROR")    # must not raise
+        assert ObsRun.load_metrics(tmp_path / "run")["status"] == "ERROR"
+        (root,) = read_spans(tmp_path / "run" / "spans.jsonl")
+        assert root["status"] == "ERROR"
+
+    def test_finish_idempotent(self, tmp_path):
+        run = ObsRun(tmp_path / "run", "dse")
+        run.finish(metrics={"n": 1})
+        run.finish(metrics={"n": 2})
+        assert ObsRun.load_metrics(tmp_path / "run")["metrics"] == {"n": 1}
+        assert len(read_spans(tmp_path / "run" / "spans.jsonl")) == 1
+
+    def test_metrics_absent_while_live(self, tmp_path):
+        run = ObsRun(tmp_path / "run", "dse")
+        assert ObsRun.load_metrics(tmp_path / "run") is None
+        run.finish()
+
+
+class TestHeartbeat:
+    def test_beats_recorded_per_pid(self, tmp_path):
+        beat = Heartbeat(tmp_path, pid=1234)
+        beat.beat("run", workload="w", config="c")
+        beat.done += 1
+        beat.beat("idle")
+        records = read_heartbeats(tmp_path)[1234]
+        assert [r["state"] for r in records] == ["run", "idle"]
+        assert records[0]["workload"] == "w"
+        assert records[-1]["done"] == 1
+
+    def test_no_heartbeats_reads_empty(self, tmp_path):
+        assert read_heartbeats(tmp_path) == {}

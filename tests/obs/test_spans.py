@@ -1,0 +1,154 @@
+"""Span writer/reader durability and cross-process context carriers."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (SpanWriter, Tracer, new_span_id, new_trace_id,
+                             read_spans)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)    # valid hex
+
+    def test_span_id_shape(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_unique(self):
+        assert len({new_span_id() for _ in range(64)}) == 64
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        writer = SpanWriter(path)
+        writer.write({"name": "a", "span_id": "1"})
+        writer.write({"name": "b", "span_id": "2"})
+        records = read_spans(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_whole_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        SpanWriter(path).write({"name": "a"})
+        text = path.read_text()
+        assert text.endswith("\n")
+        json.loads(text.rstrip("\n"))
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_spans(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_last_line_discarded(self, tmp_path, caplog):
+        import logging
+        path = tmp_path / "spans.jsonl"
+        writer = SpanWriter(path)
+        writer.write({"name": "a"})
+        writer.write({"name": "b"})
+        # A SIGKILL mid-append leaves a partial final line.
+        path.write_text(path.read_text()[:-9])
+        with caplog.at_level(logging.WARNING, "repro.obs.spans"):
+            records = read_spans(path)
+        assert [r["name"] for r in records] == ["a"]
+        assert any("truncated last span line" in rec.getMessage()
+                   for rec in caplog.records)
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"name": "a"}\nnot json\n{"name": "c"}\n')
+        with pytest.raises(ValueError, match="corrupt span line 2"):
+            read_spans(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"name": "a"}\n[1, 2]\n{"name": "c"}\n')
+        with pytest.raises(ValueError):
+            read_spans(path)
+
+    def test_concurrent_appends_interleave_at_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        # Two independent writers on the same file (the pool situation).
+        a, b = SpanWriter(path), SpanWriter(path)
+        for i in range(20):
+            (a if i % 2 else b).write({"i": i})
+        assert sorted(r["i"] for r in read_spans(path)) == list(range(20))
+
+
+class TestTracer:
+    def _tracer(self, tmp_path):
+        return Tracer(SpanWriter(tmp_path / "spans.jsonl"))
+
+    def test_span_record_shape(self, tmp_path):
+        tracer = self._tracer(tmp_path)
+        with tracer.span("work", key="a::b"):
+            pass
+        (record,) = read_spans(tracer.writer.path)
+        assert record["name"] == "work"
+        assert record["trace_id"] == tracer.trace_id
+        assert record["parent_span_id"] is None
+        assert record["status"] == "OK"
+        assert record["attributes"] == {"key": "a::b"}
+        assert record["end_time_unix_nano"] >= record["start_time_unix_nano"]
+
+    def test_nesting_links_parent(self, tmp_path):
+        tracer = self._tracer(tmp_path)
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                assert tracer.current_span_id == inner_id
+            assert tracer.current_span_id == outer_id
+        by_name = {r["name"]: r for r in read_spans(tracer.writer.path)}
+        assert by_name["inner"]["parent_span_id"] == outer_id
+        assert by_name["outer"]["parent_span_id"] is None
+
+    def test_children_written_before_parent(self, tmp_path):
+        tracer = self._tracer(tmp_path)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in read_spans(tracer.writer.path)]
+        assert names == ["inner", "outer"]
+
+    def test_exception_marks_error_and_propagates(self, tmp_path):
+        tracer = self._tracer(tmp_path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = read_spans(tracer.writer.path)
+        assert record["status"] == "ERROR"
+        assert tracer.current_span_id is None    # stack unwound
+
+    def test_record_span_defaults_parent_to_active(self, tmp_path):
+        tracer = self._tracer(tmp_path)
+        with tracer.span("outer") as outer_id:
+            tracer.record_span("event", 10, 20, workload="w")
+        by_name = {r["name"]: r for r in read_spans(tracer.writer.path)}
+        assert by_name["event"]["parent_span_id"] == outer_id
+        assert by_name["event"]["start_time_unix_nano"] == 10
+        assert by_name["event"]["end_time_unix_nano"] == 20
+
+    def test_carrier_round_trip(self, tmp_path):
+        host = self._tracer(tmp_path)
+        with host.span("sweep") as sweep_id:
+            carrier = host.carrier()
+        assert carrier["trace_id"] == host.trace_id
+        assert carrier["span_id"] == sweep_id
+        worker = Tracer.from_carrier(carrier)
+        with worker.span("pair"):
+            pass
+        pair = [r for r in read_spans(host.writer.path)
+                if r["name"] == "pair"][0]
+        assert pair["trace_id"] == host.trace_id
+        assert pair["parent_span_id"] == sweep_id
+
+    def test_carrier_without_active_span(self, tmp_path):
+        host = self._tracer(tmp_path)
+        carrier = host.carrier()
+        assert "span_id" not in carrier
+        worker = Tracer.from_carrier(carrier)
+        with worker.span("pair"):
+            pass
+        (record,) = read_spans(host.writer.path)
+        assert record["parent_span_id"] is None

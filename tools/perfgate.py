@@ -66,6 +66,12 @@ FULL_PAIRS: List[Tuple[str, str]] = SMOKE_PAIRS + [
 SCHEMA_VERSION = 1
 
 
+def _null_span(*_a, **_k):
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _measure_pair(workload_name: str, config: str, trace,
                   repeats: int) -> Dict[str, float]:
     """Best-of-``repeats`` timing of one (workload, config) simulation."""
@@ -96,10 +102,12 @@ def _measure_pair(workload_name: str, config: str, trace,
     return best
 
 
-def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
+def run_suite(pairs: List[Tuple[str, str]], repeats: int,
+              obs=None) -> Dict:
     """Time every pair; traces are generated once per workload."""
     from repro.trace.workloads import get_workload
 
+    span = obs.span if obs is not None else _null_span
     traces: Dict[str, list] = {}
     results: List[Dict[str, float]] = []
     for workload_name, config in pairs:
@@ -107,8 +115,10 @@ def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
             traces[workload_name] = get_workload(workload_name).generate()
         print(f"  timing {workload_name} x {config} ...",
               end=" ", flush=True)
-        sample = _measure_pair(workload_name, config,
-                               traces[workload_name], repeats)
+        with span("measure", key=f"{workload_name}::{config}",
+                  repeats=repeats):
+            sample = _measure_pair(workload_name, config,
+                                   traces[workload_name], repeats)
         print(f"{sample['cycles_per_sec']:,.0f} cycles/s "
               f"({sample['wall_seconds']:.3f}s)")
         results.append(sample)
@@ -135,7 +145,7 @@ def run_suite(pairs: List[Tuple[str, str]], repeats: int) -> Dict:
 
 
 def measure_fill(pairs: List[Tuple[str, str]],
-                 jobs_list: List[int]) -> List[Dict]:
+                 jobs_list: List[int], obs=None) -> List[Dict]:
     """Time cold sweep-engine fills of ``pairs`` at each worker count.
 
     Every fill starts from an empty throwaway cache (so trace
@@ -150,16 +160,18 @@ def measure_fill(pairs: List[Tuple[str, str]],
     from repro.experiments.runner import ResultCache
     from repro.telemetry.profiler import StageProfiler
 
+    span = obs.span if obs is not None else _null_span
     samples: List[Dict] = []
     for jobs in jobs_list:
         root = Path(tempfile.mkdtemp(prefix="perfgate_fill_"))
         try:
             profiler = StageProfiler()
             engine = SweepEngine(jobs=jobs, cache=ResultCache(root),
-                                 profiler=profiler)
+                                 profiler=profiler, obs=obs)
             print(f"  filling {len(pairs)} pairs with --jobs {jobs} ...",
                   end=" ", flush=True)
-            engine.run(pairs)
+            with span("fill", jobs=jobs, pairs=len(pairs)):
+                engine.run(pairs)
             print(f"{engine.fill_seconds:.2f}s "
                   f"({engine.pairs_per_min:.1f} pairs/min)")
             samples.append({
@@ -236,20 +248,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated worker counts for the "
                              "sweep-engine fill measurement (default: "
                              "'1,2'; empty string skips it)")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="record this gate run (span trace, manifest, "
+                             "a copy of the BENCH snapshot under bench/) "
+                             "into DIR; defaults to $REPRO_OBS_DIR")
     args = parser.parse_args(argv)
 
     os.environ["REPRO_SCALE"] = PINNED_SCALE
     pairs = SMOKE_PAIRS if args.smoke else FULL_PAIRS
     label = "smoke" if args.smoke else "full"
+
+    from repro.obs import RunObs, resolve_obs_dir
+
+    obs = None
+    obs_dir = resolve_obs_dir(args.obs_dir)
+    if obs_dir is not None:
+        obs = RunObs.create(
+            obs_dir, "perfgate", argv=["perfgate"] + list(argv or []),
+            config={"suite": label, "repeats": args.repeats,
+                    "tolerance": args.tolerance,
+                    "fill_jobs": args.fill_jobs},
+            live=False)
+
     print(f"perfgate: {label} suite, {len(pairs)} pairs, "
           f"REPRO_SCALE={PINNED_SCALE}, best of {args.repeats}")
-    report = run_suite(pairs, args.repeats)
+    report = run_suite(pairs, args.repeats, obs=obs)
     report["suite"] = label
 
     fill_jobs = [int(j) for j in args.fill_jobs.split(",") if j.strip()]
     if fill_jobs:
         print(f"fill throughput (cold cache, jobs {fill_jobs}):")
-        report["fill"] = measure_fill(pairs, fill_jobs)
+        report["fill"] = measure_fill(pairs, fill_jobs, obs=obs)
         # Headline campaign-throughput metric: the best fill observed.
         report["fill_pairs_per_min"] = max(
             s["fill_pairs_per_min"] for s in report["fill"]
@@ -263,15 +292,36 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MB")
     print(f"wrote {out_path}")
 
-    if args.no_compare:
-        return 0
-    baseline_path = find_baseline(out_path, args.baseline)
-    if baseline_path is None:
-        print("no baseline found; gate skipped")
-        return 0
-    baseline = json.loads(baseline_path.read_text())
-    print(f"baseline: {baseline_path}")
-    return compare(report, baseline, args.tolerance)
+    if obs is not None:
+        # A copy under <obs-dir>/bench/ is what lets `repro.obs regress
+        # --obs-dir` place this very run at the end of the BENCH chain.
+        bench_dir = obs.run.dir / "bench"
+        bench_dir.mkdir(exist_ok=True)
+        (bench_dir / out_path.name).write_text(
+            json.dumps(report, indent=1) + "\n")
+
+    exit_code = 0
+    try:
+        if args.no_compare:
+            return 0
+        baseline_path = find_baseline(out_path, args.baseline)
+        if baseline_path is None:
+            print("no baseline found; gate skipped")
+            return 0
+        baseline = json.loads(baseline_path.read_text())
+        print(f"baseline: {baseline_path}")
+        exit_code = compare(report, baseline, args.tolerance)
+        return exit_code
+    finally:
+        if obs is not None:
+            obs.finish(metrics={
+                "suite": label,
+                "geomean_cycles_per_sec":
+                    report["geomean_cycles_per_sec"],
+                "fill_pairs_per_min": report.get("fill_pairs_per_min"),
+                "bench_file": out_path.name,
+                "gate_exit": exit_code,
+            })
 
 
 if __name__ == "__main__":
