@@ -136,18 +136,20 @@ class UBSICache(InstructionCacheBase):
 
         set_idx = block & self._index_mask
         tags = self._tags[set_idx]
-        if block not in tags:            # C-level scan before the way walk
+        try:
+            way = tags.index(block)      # C-level scan to the first match
+        except ValueError:
             self.misses += 1
             return LookupResult(_FULL_MISS, block_addr)
         starts = self._start[set_idx]
         spans = self._span_end[set_idx]
-        # Single pass in way order: the first way containing the whole
-        # range wins (overlapping spans are possible; way order is the
-        # tie-break). Tag-only matches are kept for miss classification.
+        # Walk matches in way order (jumping match-to-match in C): the
+        # first way containing the whole range wins (overlapping spans
+        # are possible; way order is the tie-break). Tag-only matches
+        # are kept for miss classification.
         match_ways: List[int] = []
-        for way in range(self.n_ways):
-            if tags[way] != block:
-                continue
+        n_ways = self.n_ways
+        while True:
             if starts[way] <= off and end_off <= spans[way]:
                 self.hits += 1
                 self._reused[set_idx][way] = True
@@ -159,6 +161,13 @@ class UBSICache(InstructionCacheBase):
                 self._policy_on_hit(set_idx, way, addr)
                 return LookupResult(_HIT, block_addr)
             match_ways.append(way)
+            way += 1
+            if way >= n_ways:
+                break
+            try:
+                way = tags.index(block, way)
+            except ValueError:
+                break
 
         self.misses += 1
 

@@ -11,11 +11,16 @@ port conflicts are not (the paper's results are front-end dominated).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..memory.hierarchy import MemoryHierarchy
 from ..params import CoreParams
 from ..trace.record import EXEC_LATENCY, Instruction, InstrKind
+
+try:  # pragma: no cover - exercised indirectly on hosts with numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 _LOAD = InstrKind.LOAD
 _STORE = InstrKind.STORE
@@ -31,7 +36,9 @@ class Backend:
     __slots__ = ("params", "hierarchy", "_rob", "_ring", "_count",
                  "_reg_ready", "_last_commit", "_commits_this_cycle",
                  "loads", "stores", "_decode_latency", "_commit_width",
-                 "_exec_latency", "_data_access")
+                 "_exec_latency", "_data_access", "_ops", "_ops_trace",
+                 "_l1d_touch", "_l1d_latency", "_data_load_miss",
+                 "_data_store_miss")
 
     def __init__(self, params: CoreParams,
                  hierarchy: MemoryHierarchy) -> None:
@@ -56,10 +63,67 @@ class Backend:
             EXEC_LATENCY[kind] for kind in sorted(EXEC_LATENCY, key=int)
         )
         self._data_access = hierarchy.data_access
+        # Inlined L1-D hit fast path for the columnar delivery loop: the
+        # common case (load/store hitting the L1-D) resolves with one
+        # bound call instead of going through data_access.
+        self._l1d_touch = hierarchy.l1d.touch
+        self._l1d_latency = hierarchy.params.l1d.latency
+        self._data_load_miss = hierarchy.data_load_miss
+        self._data_store_miss = hierarchy.data_store_miss
+        # Fused per-instruction op tuples for the columnar delivery path,
+        # lazily bound to one ArrayTrace (see bind_trace).
+        self._ops: Optional[List[Tuple[int, int, int, int, int]]] = None
+        self._ops_trace = None
 
     @property
     def instructions(self) -> int:
         return self._count
+
+    def bind_trace(self, trace) -> None:
+        """Precompute fused op tuples for a columnar ``trace``.
+
+        Each entry is ``(lat, src1, src2, dst, mem_addr)``: ``lat`` is the
+        execution latency for plain ops, ``-1`` for loads and ``-2`` for
+        stores (which go through the data hierarchy instead), and the
+        register fields are pre-masked into scoreboard indices (``-1``
+        when the operand is absent). :meth:`accept_range_arrays` then
+        does one tuple unpack per instruction instead of five column
+        reads plus kind dispatch. One linear pass, built whole-column
+        with numpy when available; ``Machine.__init__`` binds eagerly so
+        timed runs never pay for it.
+        """
+        if trace is self._ops_trace:
+            return
+        exec_latency = self._exec_latency
+        if _np is not None:
+            lat_table = _np.array(
+                [-1 if k == _LOAD_I else -2 if k == _STORE_I
+                 else exec_latency[k] for k in range(len(exec_latency))],
+                dtype=_np.int64)
+            lat = lat_table[_np.frombuffer(trace.kind, dtype=_np.uint8)]
+            regs = [
+                _np.where(col >= 0, col & 63, -1).tolist()
+                for col in (
+                    _np.frombuffer(trace.src1, dtype=_np.int8),
+                    _np.frombuffer(trace.src2, dtype=_np.int8),
+                    _np.frombuffer(trace.dst, dtype=_np.int8),
+                )
+            ]
+            self._ops = list(zip(lat.tolist(), regs[0], regs[1], regs[2],
+                                 trace.mem_addr))
+        else:
+            load, store = _LOAD_I, _STORE_I
+            self._ops = [
+                (-1 if k == load else -2 if k == store else exec_latency[k],
+                 (s1 & 63) if s1 >= 0 else -1,
+                 (s2 & 63) if s2 >= 0 else -1,
+                 (d & 63) if d >= 0 else -1,
+                 m)
+                for k, s1, s2, d, m in zip(trace.kind, trace.src1,
+                                           trace.src2, trace.dst,
+                                           trace.mem_addr)
+            ]
+        self._ops_trace = trace
 
     def rob_has_space(self, cycle: int) -> bool:
         """Can an instruction fetched at ``cycle`` claim a ROB slot?"""
@@ -213,22 +277,24 @@ class Backend:
     def accept_range_arrays(self, trace, base: int, n: int,
                             fetch_cycle: int) -> Tuple[int, int]:
         """:meth:`accept_range` for a columnar
-        :class:`~repro.trace.arrays.ArrayTrace`: reads the kind/register/
-        address columns directly, so the delivery hot path never builds
-        ``Instruction`` objects. Timing is identical to ``n`` ``accept``
-        calls on the object view of the same trace."""
-        kinds = trace.kind
-        src1s = trace.src1
-        src2s = trace.src2
-        dsts = trace.dst
-        mems = trace.mem_addr
+        :class:`~repro.trace.arrays.ArrayTrace`: consumes the fused op
+        tuples precomputed by :meth:`bind_trace`, so the delivery hot
+        path does one tuple unpack per instruction instead of five
+        column reads and kind dispatch, and never builds ``Instruction``
+        objects. Timing is identical to ``n`` ``accept`` calls on the
+        object view of the same trace."""
+        if trace is not self._ops_trace:
+            self.bind_trace(trace)
+        ops = self._ops
 
         count = self._count
         rob = self._rob
         ring = self._ring
         reg_ready = self._reg_ready
-        exec_latency = self._exec_latency
-        data_access = self._data_access
+        l1d_touch = self._l1d_touch
+        l1d_latency = self._l1d_latency
+        data_load_miss = self._data_load_miss
+        data_store_miss = self._data_store_miss
         commit_width = self._commit_width
         last_commit = self._last_commit
         commits_this_cycle = self._commits_this_cycle
@@ -237,7 +303,7 @@ class Backend:
         base_dispatch = fetch_cycle + self._decode_latency
         complete = 0
         commit = last_commit
-        for i in range(base, base + n):
+        for lat, src1, src2, dst, mem in ops[base:base + n]:
             slot = count % rob
             dispatch = base_dispatch
             if count >= rob:
@@ -246,27 +312,27 @@ class Backend:
                     dispatch = slot_free
 
             ready = dispatch
-            src1 = src1s[i]
-            if src1 >= 0 and reg_ready[src1 & 63] > ready:
-                ready = reg_ready[src1 & 63]
-            src2 = src2s[i]
-            if src2 >= 0 and reg_ready[src2 & 63] > ready:
-                ready = reg_ready[src2 & 63]
+            if src1 >= 0 and reg_ready[src1] > ready:
+                ready = reg_ready[src1]
+            if src2 >= 0 and reg_ready[src2] > ready:
+                ready = reg_ready[src2]
 
-            kind = kinds[i]
-            if kind == _LOAD_I:
+            if lat >= 0:
+                complete = ready + lat
+            elif lat == -1:
                 loads += 1
-                complete = ready + data_access(mems[i], ready)
-            elif kind == _STORE_I:
-                stores += 1
-                data_access(mems[i], ready, is_store=True)
-                complete = ready + 1
+                if l1d_touch(mem):
+                    complete = ready + l1d_latency
+                else:
+                    complete = ready + data_load_miss(mem, ready)
             else:
-                complete = ready + exec_latency[kind]
+                stores += 1
+                if not l1d_touch(mem):
+                    data_store_miss(mem, ready)
+                complete = ready + 1
 
-            dst = dsts[i]
             if dst >= 0:
-                reg_ready[dst & 63] = complete
+                reg_ready[dst] = complete
 
             if complete > last_commit:
                 commit = complete

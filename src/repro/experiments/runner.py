@@ -15,10 +15,12 @@ performance figures.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import math
 import os
+import re
 import tempfile
 from pathlib import Path
 from time import perf_counter
@@ -80,9 +82,22 @@ class ResultCache:
                 f"{c['stores']} stored / {c['corrupt_evicted']} "
                 f"corrupt-evicted")
 
+    @staticmethod
+    def _safe_name(name: str) -> str:
+        """``name`` as a filename component. Suite workload names pass
+        through untouched (existing caches stay valid); imported names
+        (``champsim:/path/to/trace``) carry separators, so those become
+        a slug plus a short content hash to stay collision-free."""
+        if re.fullmatch(r"[\w.+=-]+", name):
+            return name
+        digest = hashlib.blake2s(name.encode()).hexdigest()[:10]
+        slug = re.sub(r"[^\w.+=-]+", "_", name)[-40:]
+        return f"{slug}__{digest}"
+
     def _result_path(self, workload: str, config: str) -> Path:
         scale = scale_factor()
-        key = f"{workload}__{config}__v{RESULTS_VERSION}__s{scale:g}.json"
+        key = (f"{self._safe_name(workload)}__{config}"
+               f"__v{RESULTS_VERSION}__s{scale:g}.json")
         return self.root / "results" / key
 
     def _trace_path(self, workload: str) -> Path:
@@ -90,7 +105,8 @@ class ResultCache:
         # whose columns load zero-copy (the sweep engine publishes exactly
         # these bytes into shared memory for its workers).
         scale = scale_factor()
-        return self.root / "traces" / f"{workload}__s{scale:g}.atrace"
+        return self.root / "traces" / \
+            f"{self._safe_name(workload)}__s{scale:g}.atrace"
 
     def _estimates_path(self) -> Path:
         scale = scale_factor()
@@ -197,7 +213,7 @@ class ResultCache:
         longer exists (renamed suites, deleted families) would otherwise
         ride along forever and mis-order future fills.
         """
-        from ..trace.workloads import workload_names
+        from ..trace.workloads import is_imported_workload, workload_names
 
         merged = self.load_estimates()
         merged.update(
@@ -205,7 +221,8 @@ class ResultCache:
              if self._valid_estimate(k, v)})
         known = set(workload_names())
         merged = {k: v for k, v in merged.items()
-                  if k.split("::", 1)[0] in known}
+                  if k.split("::", 1)[0] in known
+                  or is_imported_workload(k.split("::", 1)[0])}
         self._atomic_write(self._estimates_path(),
                            json.dumps(merged, sort_keys=True))
 

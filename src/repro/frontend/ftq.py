@@ -15,6 +15,7 @@ resumes it).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
@@ -73,10 +74,14 @@ class RangeBuilder:
         self._bpu_process = bpu.process
         self._bpu_process_raw = bpu.process_raw
         # Columnar traces are walked through their flat columns so
-        # run-ahead never materialises Instruction objects.
+        # run-ahead never materialises Instruction objects; the derived
+        # ``end``/``boundary`` sidecar columns let the walk jump over
+        # whole straight-line runs (one binary search per segment)
+        # instead of visiting every instruction.
         if isinstance(trace, ArrayTrace):
             self._cols = (trace.pc, trace.size, trace.kind,
-                          trace.taken, trace.target)
+                          trace.taken, trace.target,
+                          trace.end, trace.boundary)
         else:
             self._cols = None
 
@@ -142,16 +147,26 @@ class RangeBuilder:
 
     def _build_next_columnar(self) -> Optional[FetchRange]:
         """:meth:`build_next` reading an :class:`ArrayTrace`'s columns —
-        identical control flow and results, no Instruction objects."""
-        pcs, sizes, kinds, takens, targets = self._cols
+        identical control flow and results, no Instruction objects.
+
+        Instead of visiting every instruction, the walk advances one
+        *segment* at a time: ``boundary[idx]`` gives the next index whose
+        instruction is a branch, a fall-through discontinuity, or the
+        trace end, and within ``[idx, boundary[idx]]`` the ``end`` column
+        is strictly increasing, so one ``bisect_left`` finds where the
+        64-byte block closes. Only branch instructions are touched
+        individually (the BPU is stateful); straight-line runs are
+        delivered as a slice of the precomputed ``end`` column.
+        """
+        pcs, sizes, kinds, takens, targets, ends, boundaries = self._cols
         n_trace = self._n_trace
         idx = self.index
         next_byte = self._next_byte
         start = next_byte if next_byte is not None else pcs[idx]
         block_end = (start | 63) + 1
 
-        instr_ends: List[int] = []
-        append = instr_ends.append
+        idx0 = idx
+        stop = idx           # one past the last delivered instruction
         is_branch = IS_BRANCH
         process_raw = self._bpu_process_raw
         end = start
@@ -159,36 +174,160 @@ class RangeBuilder:
         straddle = False
 
         while idx < n_trace:
-            pc = pcs[idx]
-            size = sizes[idx]
-            ins_end = pc + size
-            if ins_end > block_end:
-                # The instruction straddles the block boundary: it completes
-                # in the continuation range that starts at the boundary.
+            b = boundaries[idx]
+            m = bisect_left(ends, block_end, idx, b + 1)
+            if m <= b:
+                if ends[m] > block_end:
+                    # Instruction m straddles the block boundary: it
+                    # completes in the continuation range starting there.
+                    stop = idx = m
+                    end = block_end
+                    straddle = True
+                    break
+                # ends[m] == block_end: the range closes exactly on the
+                # boundary. A branch can only sit at m when m == b (the
+                # segment guarantees indices before b are non-branches).
+                stop = idx = m + 1
                 end = block_end
-                straddle = True
+                if m == b and is_branch[kinds[b]]:
+                    resteer = process_raw(kinds[b], pcs[b], sizes[b],
+                                          takens[b] == 1, targets[b])
+                    if resteer:      # i.e. != Resteer.NONE
+                        self.blocked = True
                 break
-            end = ins_end
-            append(ins_end)
-            kind = kinds[idx]
-            idx += 1
-            if is_branch[kind]:
-                taken = takens[idx - 1] == 1
-                resteer = process_raw(kind, pc, size, taken, targets[idx - 1])
+            # The whole segment fits in the block: deliver through the
+            # boundary instruction in one step.
+            stop = idx = b + 1
+            end = ends[b]
+            if is_branch[kinds[b]]:
+                taken = takens[b] == 1
+                resteer = process_raw(kinds[b], pcs[b], sizes[b],
+                                      taken, targets[b])
                 if resteer:          # i.e. != Resteer.NONE
                     self.blocked = True
                     break
                 if taken:
                     break
-            if ins_end == block_end:
-                break
+            # Not-taken branch or fall-through discontinuity with room
+            # left in the block: continue into the next segment.
 
         if end == start:
             raise SimulationError("built an empty fetch range")
         self.index = idx
         self._next_byte = block_end if straddle else None
-        return FetchRange(start, end - start, idx - len(instr_ends),
-                          tuple(instr_ends), resteer)
+        return FetchRange(start, end - start, idx0,
+                          tuple(ends[idx0:stop].tolist()), resteer)
+
+
+def segment_range(fetch_range: FetchRange, fetch_bytes: int,
+                  fetch_width: int) -> List[Tuple[int, int]]:
+    """Split a fetch range into its per-cycle delivery chunks.
+
+    Returns ``[(chunk_end, instrs_delivered_after), ...]`` — exactly the
+    chunks the machine's delivery loop would compute cycle by cycle
+    (bytes capped at ``fetch_bytes``, instructions at ``fetch_width``,
+    and the chunk clipped back to the last completing instruction when
+    the width limit binds mid-range). The split is a pure function of
+    the range and the fetch parameters — stalls only repeat a chunk,
+    they never change it — so it can be computed once per range.
+    """
+    ends = fetch_range.instr_ends
+    n_ends = len(ends)
+    cur_byte = fetch_range.start
+    cur_end = cur_byte + fetch_range.nbytes
+    segs: List[Tuple[int, int]] = []
+    append = segs.append
+    i = 0
+    while cur_byte < cur_end:
+        chunk_end = cur_byte + fetch_bytes
+        if chunk_end > cur_end:
+            chunk_end = cur_end
+        i0 = i
+        n_stop = i0 + fetch_width
+        if n_stop > n_ends:
+            n_stop = n_ends
+        while i < n_stop and ends[i] <= chunk_end:
+            i += 1
+        if i - i0 == fetch_width and i < n_ends:
+            chunk_end = ends[i - 1]
+        append((chunk_end, i))
+        cur_byte = chunk_end
+    return segs
+
+
+def precompute_range_stream(trace: Sequence[Instruction],
+                            bpu: BranchPredictionUnit,
+                            ) -> List[Tuple[FetchRange, int, int]]:
+    """Run a :class:`RangeBuilder` over the whole trace in one pass.
+
+    The sequence of fetch ranges is a pure function of the trace and the
+    BPU parameters: ``build_next`` never observes the cache, the FTQ or
+    the clock, and resteer blocking only delays *when* the next range is
+    built, never *what* it is. Precomputing the stream therefore moves
+    the entire BPU/perceptron/BTB walk out of the timed cycle loop while
+    staying bit-identical.
+
+    Returns ``[(range, cond_lookups, mispredicts), ...]`` where the
+    counters are the BPU's cumulative values right after each range was
+    built, so a replay can keep the externally visible counters exact at
+    every cycle boundary. The caller's ``bpu`` is fully advanced on
+    return and should only be reused through :class:`ReplayRangeBuilder`.
+    """
+    builder = RangeBuilder(trace, bpu)
+    stream: List[Tuple[FetchRange, int, int]] = []
+    append = stream.append
+    build_next = builder.build_next
+    while True:
+        fetch_range = build_next()
+        if fetch_range is None:
+            if builder.blocked:
+                builder.resume()
+                continue
+            break
+        append((fetch_range, bpu.cond_lookups, bpu.mispredicts))
+    return stream
+
+
+class ReplayRangeBuilder:
+    """Drop-in :class:`RangeBuilder` replaying a precomputed stream.
+
+    Emits the exact ranges (same objects) a live builder would produce,
+    mirroring its ``blocked``/``exhausted`` protocol, and restores the
+    BPU's ``cond_lookups``/``mispredicts`` counters alongside each range
+    so snapshots taken between emissions read identical values.
+    """
+
+    __slots__ = ("bpu", "blocked", "_stream", "_pos", "_n")
+
+    def __init__(self, stream: List[Tuple[FetchRange, int, int]],
+                 bpu: BranchPredictionUnit) -> None:
+        self.bpu = bpu
+        self.blocked = False
+        self._stream = stream
+        self._pos = 0
+        self._n = len(stream)
+        bpu.cond_lookups = 0
+        bpu.mispredicts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._n
+
+    def resume(self) -> None:
+        self.blocked = False
+
+    def build_next(self) -> Optional[FetchRange]:
+        pos = self._pos
+        if self.blocked or pos >= self._n:
+            return None
+        fetch_range, lookups, mispredicts = self._stream[pos]
+        self._pos = pos + 1
+        bpu = self.bpu
+        bpu.cond_lookups = lookups
+        bpu.mispredicts = mispredicts
+        if fetch_range.resteer:
+            self.blocked = True
+        return fetch_range
 
 
 class FetchTargetQueue:

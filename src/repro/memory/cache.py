@@ -31,7 +31,8 @@ class Cache:
     """
 
     __slots__ = ("params", "sets", "ways", "_offset_bits", "_index_mask",
-                 "_tags", "_reused", "policy", "hits", "misses",
+                 "_tags", "_maps", "_free", "_reused", "policy", "hits",
+                 "misses",
                  "_policy_on_hit", "_policy_note_miss", "_policy_should_admit",
                  "_policy_victim", "_policy_on_evict", "_policy_on_fill")
 
@@ -45,6 +46,10 @@ class Cache:
         self._tags: List[List[Optional[int]]] = [
             [None] * self.ways for _ in range(self.sets)
         ]
+        # Per-set block -> way index, mirroring ``_tags``: lookups are one
+        # dict probe instead of a list scan (and misses never raise).
+        self._maps: List[dict] = [{} for _ in range(self.sets)]
+        self._free: List[int] = [self.ways] * self.sets
         self._reused: List[List[bool]] = [
             [False] * self.ways for _ in range(self.sets)
         ]
@@ -74,16 +79,14 @@ class Cache:
     def probe(self, addr: int) -> bool:
         """Presence check without any state change."""
         block = self.block_of(addr)
-        return block in self._tags[block & self._index_mask]
+        return block in self._maps[block & self._index_mask]
 
     def touch(self, addr: int) -> bool:
         """Lookup without fill: updates recency and counters."""
         block = addr >> self._offset_bits
         set_idx = block & self._index_mask
-        tags = self._tags[set_idx]
-        try:
-            way = tags.index(block)
-        except ValueError:
+        way = self._maps[set_idx].get(block)
+        if way is None:
             self.misses += 1
             self._policy_note_miss(addr, set_idx)
             return False
@@ -99,20 +102,24 @@ class Cache:
         set_idx = block & self._index_mask
         if not self._policy_should_admit(addr, set_idx):
             return None
-        tags = self._tags[set_idx]
-        if block in tags:               # merged fill; nothing to do
+        tag_map = self._maps[set_idx]
+        if block in tag_map:            # merged fill; nothing to do
             return None
+        tags = self._tags[set_idx]
         evicted = None
-        try:
+        if self._free[set_idx]:
             way = tags.index(None)
-        except ValueError:
+            self._free[set_idx] -= 1
+        else:
             way = self._policy_victim(set_idx)
             old = tags[way]
             assert old is not None
             evicted = old << self._offset_bits
+            del tag_map[old]
             self._policy_on_evict(set_idx, way, evicted,
                                   self._reused[set_idx][way])
         tags[way] = block
+        tag_map[block] = way
         self._reused[set_idx][way] = False
         self._policy_on_fill(set_idx, way, addr)
         return evicted
@@ -127,12 +134,11 @@ class Cache:
     def invalidate(self, addr: int) -> bool:
         block = self.block_of(addr)
         set_idx = block & self._index_mask
-        tags = self._tags[set_idx]
-        try:
-            way = tags.index(block)
-        except ValueError:
+        way = self._maps[set_idx].pop(block, None)
+        if way is None:
             return False
-        tags[way] = None
+        self._tags[set_idx][way] = None
+        self._free[set_idx] += 1
         self._reused[set_idx][way] = False
         return True
 

@@ -97,6 +97,21 @@ class MemoryHierarchy:
         self._below_l1(addr, cycle)
         self._l1d_fill(addr)
 
+    # Miss continuations for callers that inline the L1-D hit check (the
+    # back-end delivery loop): semantics are exactly the corresponding
+    # :meth:`data_access` branches after a failed ``l1d.touch``.
+
+    def data_load_miss(self, addr: int, cycle: int) -> int:
+        """Load completion latency when the L1-D touch already missed."""
+        latency = self._l1d_latency
+        latency += self._below_l1(addr, cycle + latency)
+        self._l1d_fill(addr)
+        return latency
+
+    def data_store_miss(self, addr: int, cycle: int) -> None:
+        """Background write-allocate when the L1-D touch already missed."""
+        self._fill_l1d(addr, cycle)
+
     def register_metrics(self, registry) -> None:
         """Register every shared level's counters into ``registry``."""
         for name, cache in (("l1d", self.l1d), ("l2", self.l2),

@@ -12,7 +12,10 @@ expected wall seconds of not-yet-finished pairs divided by the worker
 count, scaled by a calibration factor (measured wall of completed pairs
 over their expected cost) once at least one pair has finished — so a
 host slower or faster than the machine that wrote the sidecar converges
-onto a truthful ETA after the first completion.
+onto a truthful ETA after the first completion. Pairs the sidecar does
+not cover are extrapolated from the measured completion rate (or, before
+anything finishes, from the mean sidecar cost) instead of silently
+counting as free.
 """
 
 from __future__ import annotations
@@ -59,6 +62,8 @@ class SweepProgress:
         self._inflight: "Dict[Pair, float]" = {}   # pair -> start time
         self._started = perf_counter()
         self._expected_done = 0.0
+        self._remaining_known = 0.0   # sidecar seconds of unfinished pairs
+        self._unknown_left = 0        # unfinished pairs with no estimate
         self._wall_done = 0.0
         self._last_draw = 0.0
         self._line_open = False
@@ -71,6 +76,10 @@ class SweepProgress:
         self.cache_hits = total_pairs - len(todo)
         self.jobs = max(1, jobs)
         self._costs = dict(costs)
+        self._remaining_known = sum(
+            costs[pair] for pair in todo if pair in costs
+        )
+        self._unknown_left = sum(1 for pair in todo if pair not in costs)
         self._started = perf_counter()
         if self.tty:
             self._draw(force=True)
@@ -91,7 +100,12 @@ class SweepProgress:
         pair = (workload, config)
         started = self._inflight.pop(pair, None)
         self.done += 1
-        self._expected_done += self._costs.get(pair, 0.0)
+        cost = self._costs.get(pair)
+        if cost is not None:
+            self._expected_done += cost
+            self._remaining_known -= cost
+        elif self._unknown_left:
+            self._unknown_left -= 1
         if wall_seconds:
             self._wall_done += wall_seconds
         elif started is not None:
@@ -116,21 +130,24 @@ class SweepProgress:
     # -- estimation ----------------------------------------------------------
 
     def eta_seconds(self) -> float:
-        remaining = sum(
-            self._costs.get(pair, 0.0)
-            for pair in self._costs
-        ) - self._expected_done
-        remaining = max(0.0, remaining)
+        remaining = max(0.0, self._remaining_known)
         # Calibrate sidecar estimates against this host's measured pace.
+        calibration = 1.0
         if self._expected_done > 0 and self._wall_done > 0:
-            remaining *= self._wall_done / self._expected_done
-        elif not self._costs:
-            # No estimates at all: extrapolate from the measured rate.
+            calibration = self._wall_done / self._expected_done
+        eta = remaining * calibration / self.jobs
+        unknown = self._unknown_left
+        if unknown:
+            # Pairs with no sidecar estimate still take time: extrapolate
+            # from this sweep's measured completion rate, or — before
+            # anything has finished — from the mean sidecar cost.
             if self.done:
                 rate = self.done / max(1e-9, perf_counter() - self._started)
-                return (self.total - self.done) / rate
-            return 0.0
-        return remaining / self.jobs
+                eta += unknown / rate
+            elif self._costs:
+                mean = sum(self._costs.values()) / len(self._costs)
+                eta += unknown * mean * calibration / self.jobs
+        return eta
 
     # -- drawing -------------------------------------------------------------
 

@@ -10,7 +10,9 @@ metrics (geomean simulated cycles per host second; best cold-fill pairs
 per minute), flagging any entry whose geomean drops below
 ``(1 - tolerance)`` of the *previous entry of the same suite* — smoke
 and full suites time different pair sets, so comparing across them would
-manufacture fake regressions.
+manufacture fake regressions. Snapshots written before the ``suite``
+field existed land in an ``unknown`` lane that is shown (with a marker)
+but never compared, for the same reason.
 
 Committed BENCH files are a single reference machine's trajectory;
 cross-host comparisons (CI) should pass a generous ``--tolerance``, the
@@ -67,27 +69,38 @@ def analyze(chain: List[Tuple[str, Dict[str, Any]]],
     last_by_suite: Dict[str, Dict[str, Any]] = {}
     regressions: List[str] = []
     for label, data in chain:
-        suite = data.get("suite", "full")
+        # A snapshot written before the suite field existed does not say
+        # which pair set it timed, so it must never be compared against
+        # (or become the reference for) real suite entries: park it in
+        # its own "unknown" lane, rendered with a marker and excluded
+        # from regression checks entirely.
+        suite = data.get("suite")
+        comparable = suite is not None
+        if not comparable:
+            suite = "unknown"
         geomean = float(data["geomean_cycles_per_sec"])
         fill = data.get("fill_pairs_per_min")
-        prev = last_by_suite.get(suite)
         ratio = None
         flagged = False
-        if prev is not None:
-            ratio = geomean / float(prev["geomean_cycles_per_sec"])
-            flagged = ratio < 1.0 - tolerance
+        if comparable:
+            prev = last_by_suite.get(suite)
+            if prev is not None:
+                ratio = geomean / float(prev["geomean_cycles_per_sec"])
+                flagged = ratio < 1.0 - tolerance
         if flagged:
             regressions.append(label)
         rows.append({
             "label": label,
             "date": data.get("date", "?"),
             "suite": suite,
+            "comparable": comparable,
             "geomean_cycles_per_sec": geomean,
             "fill_pairs_per_min": fill,
             "ratio_vs_prev": None if ratio is None else round(ratio, 4),
             "regression": flagged,
         })
-        last_by_suite[suite] = data
+        if comparable:
+            last_by_suite[suite] = data
     return {
         "tolerance": tolerance,
         "entries": rows,
@@ -104,14 +117,16 @@ def render(analysis: Dict[str, Any]) -> str:
     for entry in analysis["entries"]:
         fill = entry["fill_pairs_per_min"]
         ratio = entry["ratio_vs_prev"]
+        comparable = entry.get("comparable", True)
         rows.append((
             entry["label"],
             entry["date"],
-            entry["suite"],
+            entry["suite"] if comparable else "unknown?",
             f"{entry['geomean_cycles_per_sec']:,.0f}",
             "—" if ratio is None else f"{ratio:.2f}x",
             "—" if fill is None else f"{fill:.1f}",
-            "REGRESSION" if entry["regression"] else "",
+            "REGRESSION" if entry["regression"] else
+            ("" if comparable else "not compared"),
         ))
     lines = [
         "perf trend (oldest first; Δ vs previous entry of the same suite):",

@@ -22,11 +22,30 @@ builds the object view lazily, so every existing consumer of a
 Serialised layout (little endian)::
 
     7s  magic   b"REPROAT"
-    B   format version (currently 1; anything else is rejected)
+    B   format version (1 or 2; anything else is rejected)
     Q   instruction count n
-    then the columns, in :data:`COLUMNS` order:
+    then the columns; version 1 stores the nine instruction columns in
+    :data:`COLUMNS` order:
     pc[u64*n] target[u64*n] mem_addr[u64*n]
     size[u8*n] kind[u8*n] taken[u8*n] src1[i8*n] src2[i8*n] dst[i8*n]
+    and version 2 interleaves the two *sidecar* columns so every column
+    stays naturally aligned:
+    pc[u64*n] target[u64*n] mem_addr[u64*n] end[u64*n] boundary[u32*n]
+    size[u8*n] kind[u8*n] taken[u8*n] src1[i8*n] src2[i8*n] dst[i8*n]
+
+The sidecar columns are *derived* (never authoritative): ``end[i]`` is
+``pc[i] + size[i]`` — the byte address just past the instruction — and
+``boundary[i]`` is the index of the next *walk boundary* at or after
+``i``: the next control-flow instruction, fall-through discontinuity
+(``pc[i+1] != end[i]``) or the final instruction. Between ``i`` and
+``boundary[i]`` the ``end`` column is strictly increasing, which is what
+lets the fetch-range builder binary-search a whole straight-line run
+instead of walking it instruction by instruction
+(:meth:`repro.frontend.ftq.RangeBuilder._build_next_columnar`).
+
+Version-1 buffers (older trace caches, shared-memory segments published
+by older hosts) are still accepted: :meth:`ArrayTrace.from_buffer`
+auto-detects the version and recomputes the sidecars on load.
 
 The 16-byte header keeps the u64 columns 8-aligned, which
 ``memoryview.cast`` requires when the buffer is shared memory.
@@ -38,29 +57,107 @@ import struct
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import TraceError
-from .record import Instruction, InstrKind
+from .record import IS_BRANCH, Instruction, InstrKind
 
-#: Column name -> array/struct typecode, in serialisation order. The
-#: wide (8-byte) columns come first so every column stays naturally
-#: aligned after the 16-byte header.
+try:  # numpy vectorises the one-time sidecar build; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _sidecars_python
+    _np = None
+
+#: Column name -> array/struct typecode for the nine instruction-field
+#: columns (the version-1 serialisation order). The wide (8-byte)
+#: columns come first so every column stays naturally aligned after the
+#: 16-byte header.
 COLUMNS: Tuple[Tuple[str, str], ...] = (
     ("pc", "Q"), ("target", "Q"), ("mem_addr", "Q"),
     ("size", "B"), ("kind", "B"), ("taken", "B"),
     ("src1", "b"), ("src2", "b"), ("dst", "b"),
 )
 
+#: Derived sidecar columns added by the version-2 container.
+SIDECAR_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("end", "Q"), ("boundary", "I"),
+)
+
+#: Version-2 serialisation order: wide columns (including the ``end``
+#: sidecar) first, then the u32 ``boundary``, then the byte columns.
+V2_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("pc", "Q"), ("target", "Q"), ("mem_addr", "Q"), ("end", "Q"),
+    ("boundary", "I"),
+    ("size", "B"), ("kind", "B"), ("taken", "B"),
+    ("src1", "b"), ("src2", "b"), ("dst", "b"),
+)
+
 MAGIC = b"REPROAT"
-VERSION = 1
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 _HEADER = struct.Struct("<7sBQ")
-_ITEMSIZE = {"Q": 8, "B": 1, "b": 1}
+_ITEMSIZE = {"Q": 8, "I": 4, "B": 1, "b": 1}
 _BYTES_PER_INSTRUCTION = sum(_ITEMSIZE[f] for _, f in COLUMNS)
+_BYTES_PER_INSTRUCTION_V2 = sum(_ITEMSIZE[f] for _, f in V2_COLUMNS)
+_COLUMN_ORDER = {1: COLUMNS, 2: V2_COLUMNS}
 
 Buffer = Union[bytes, bytearray, memoryview]
 
 
-def serialized_nbytes(n: int) -> int:
+def serialized_nbytes(n: int, version: int = VERSION) -> int:
     """Size in bytes of an ``n``-instruction serialised ArrayTrace."""
-    return _HEADER.size + n * _BYTES_PER_INSTRUCTION
+    if version == 1:
+        return _HEADER.size + n * _BYTES_PER_INSTRUCTION
+    return _HEADER.size + n * _BYTES_PER_INSTRUCTION_V2
+
+
+def _sidecars_numpy(pc, size, kind, n):
+    """Vectorised (end, boundary) build; see the module docstring."""
+    from array import array
+
+    pc_np = _np.frombuffer(pc, dtype=_np.uint64, count=n)
+    size_np = _np.frombuffer(size, dtype=_np.uint8, count=n)
+    kind_np = _np.frombuffer(kind, dtype=_np.uint8, count=n)
+    end_np = pc_np + size_np
+    stop = _IS_BRANCH_NP[kind_np]
+    if n > 1:
+        stop[:-1] |= pc_np[1:] != end_np[:-1]
+    stop[-1] = True
+    # boundary[i] = min index j >= i with stop[j]: reversed running min
+    # over (index where stop, +inf elsewhere).
+    idx = _np.where(stop, _np.arange(n, dtype=_np.int64), n)
+    boundary = _np.minimum.accumulate(idx[::-1])[::-1]
+    end_col = array("Q")
+    end_col.frombytes(end_np.tobytes())
+    boundary_col = array("I")
+    boundary_col.frombytes(boundary.astype(_np.uint32).tobytes())
+    return end_col, boundary_col
+
+
+def _sidecars_python(pc, size, kind, n):
+    """Pure-Python fallback for hosts without numpy (one O(n) pass)."""
+    from array import array
+
+    end_col = array("Q", (pc[i] + size[i] for i in range(n)))
+    boundary_col = array("I", bytes(4 * n))
+    is_branch = IS_BRANCH
+    nxt = n - 1
+    for i in range(n - 1, -1, -1):
+        if is_branch[kind[i]] or i == n - 1 or pc[i + 1] != end_col[i]:
+            nxt = i
+        boundary_col[i] = nxt
+    return end_col, boundary_col
+
+
+def _build_sidecars(pc, size, kind, n):
+    """(end, boundary) columns for the given base columns."""
+    if n == 0:
+        from array import array
+
+        return array("Q"), array("I")
+    if _np is not None:
+        return _sidecars_numpy(pc, size, kind, n)
+    return _sidecars_python(pc, size, kind, n)
+
+
+if _np is not None:
+    _IS_BRANCH_NP = _np.array(IS_BRANCH, dtype=bool)
 
 
 class ArrayTrace(Sequence):
@@ -73,12 +170,21 @@ class ArrayTrace(Sequence):
     """
 
     __slots__ = ("pc", "target", "mem_addr", "size", "kind", "taken",
-                 "src1", "src2", "dst", "_n")
+                 "src1", "src2", "dst", "end", "boundary", "derived", "_n")
 
-    def __init__(self, columns: Sequence, n: int) -> None:
+    def __init__(self, columns: Sequence, n: int,
+                 sidecars: Optional[Sequence] = None) -> None:
         for (name, _fmt), col in zip(COLUMNS, columns):
             object.__setattr__(self, name, col)
         object.__setattr__(self, "_n", n)
+        if sidecars is None:
+            sidecars = _build_sidecars(self.pc, self.size, self.kind, n)
+        for (name, _fmt), col in zip(SIDECAR_COLUMNS, sidecars):
+            object.__setattr__(self, name, col)
+        # Scratch cache for expensive trace-derived state (e.g. the
+        # precomputed BPU range stream) shared by consumers holding the
+        # same trace object. Never serialized; keys are consumer-chosen.
+        object.__setattr__(self, "derived", {})
 
     def __setattr__(self, name, value):  # columns are immutable views
         raise AttributeError("ArrayTrace is read-only")
@@ -131,24 +237,29 @@ class ArrayTrace(Sequence):
         magic, version, count = _HEADER.unpack_from(view, 0)
         if magic != MAGIC:
             raise TraceError(f"bad array-trace magic {bytes(magic)!r}")
-        if version != VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise TraceError(
                 f"unsupported array-trace version {version} "
-                f"(supported: {VERSION})"
+                f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
             )
-        need = serialized_nbytes(count)
+        need = serialized_nbytes(count, version)
         if len(view) < need:
             raise TraceError(
                 f"truncated array trace: {len(view)} bytes for "
                 f"{count} instructions (need {need})"
             )
-        cols = []
+        by_name = {}
         offset = _HEADER.size
-        for _name, fmt in COLUMNS:
+        for name, fmt in _COLUMN_ORDER[version]:
             nbytes = count * _ITEMSIZE[fmt]
-            cols.append(view[offset:offset + nbytes].cast(fmt))
+            by_name[name] = view[offset:offset + nbytes].cast(fmt)
             offset += nbytes
-        return cls(tuple(cols), count)
+        cols = tuple(by_name[name] for name, _ in COLUMNS)
+        if version == 1:
+            # Older container: derive the sidecar columns on load.
+            return cls(cols, count)
+        sidecars = tuple(by_name[name] for name, _ in SIDECAR_COLUMNS)
+        return cls(cols, count, sidecars)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ArrayTrace":
@@ -177,7 +288,7 @@ class ArrayTrace(Sequence):
 
     def _chunks(self) -> Iterable[bytes]:
         yield _HEADER.pack(MAGIC, VERSION, self._n)
-        for name, _fmt in COLUMNS:
+        for name, _fmt in V2_COLUMNS:
             yield getattr(self, name).tobytes()
 
     # -- shared memory -----------------------------------------------------
@@ -211,7 +322,7 @@ class ArrayTrace(Sequence):
         worker can drop a memoised shared-memory trace and then close
         the segment without a ``BufferError``.
         """
-        for name, _fmt in COLUMNS:
+        for name, _fmt in V2_COLUMNS:
             col = getattr(self, name)
             if isinstance(col, memoryview):
                 col.release()

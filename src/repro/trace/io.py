@@ -19,6 +19,12 @@ Two versions exist, distinguished by their leading magic:
 writes v2 when given an :class:`ArrayTrace` and v1 for plain
 instruction iterables (keeping old callers and old files working).
 Files ending in ``.gz`` are transparently gzip-compressed.
+
+Raw ChampSim trace files carry no magic of their own, so
+:func:`read_trace` detects them by extension (``.champsim`` /
+``.champsimtrace``, optionally ``.gz``/``.xz``-compressed) and
+delegates to :mod:`repro.trace.champsim` — the importer that lets real
+traces be named as workloads (``champsim:<path>``) in sweeps.
 """
 
 from __future__ import annotations
@@ -72,13 +78,27 @@ def write_trace(path: PathLike,
     return len(records)
 
 
-def read_trace(path: PathLike) -> Trace:
-    """Read a trace previously written by :func:`write_trace`.
+def is_champsim_file(path: PathLike) -> bool:
+    """Does ``path`` look like a raw ChampSim trace (by extension)?"""
+    name = Path(path).name
+    for compression in (".gz", ".xz"):
+        if name.endswith(compression):
+            name = name[:-len(compression)]
+    return name.endswith((".champsim", ".champsimtrace"))
 
-    Returns a ``List[Instruction]`` for v1 files and an
+
+def read_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`write_trace`, or a raw
+    ChampSim trace (detected by extension).
+
+    Returns a ``List[Instruction]`` for v1 and ChampSim files and an
     :class:`ArrayTrace` for v2 (columnar) files; both are valid
     ``Sequence[Instruction]`` trace inputs everywhere in the simulator.
     """
+    if is_champsim_file(path):
+        from .champsim import read_champsim
+
+        return read_champsim(path)
     with _open(path, "rb") as fh:
         head = fh.read(len(MAGIC))
         if head == MAGIC:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
@@ -84,6 +85,93 @@ class Workload:
         """Generate the full (warmup + measure) instruction trace."""
         warmup, measure = self.windows()
         return generate_trace(self.spec, warmup + measure)
+
+
+# -- imported (ChampSim) workloads -------------------------------------------
+
+#: Workload-name prefix selecting an on-disk ChampSim trace file.
+IMPORT_PREFIX = "champsim:"
+
+#: File extensions recognised as ChampSim traces (optionally followed by
+#: a ``.gz``/``.xz`` compression suffix).
+CHAMPSIM_SUFFIXES = (".champsim", ".champsimtrace")
+
+#: Memoised instruction counts of imported traces (windows() needs the
+#: length without re-reading the file on every call).
+_IMPORT_LENGTHS: Dict[str, int] = {}
+
+
+def champsim_trace_path(name: str) -> Optional[str]:
+    """The trace-file path behind an imported-workload ``name``, or
+    ``None`` when the name is not an import (``champsim:<path>`` prefix,
+    or a bare path with a recognised ChampSim extension)."""
+    if name.startswith(IMPORT_PREFIX):
+        return name[len(IMPORT_PREFIX):]
+    stem = name
+    for compression in (".gz", ".xz"):
+        if stem.endswith(compression):
+            stem = stem[:-len(compression)]
+    if stem.endswith(CHAMPSIM_SUFFIXES):
+        return name
+    return None
+
+
+def is_imported_workload(name: str) -> bool:
+    return champsim_trace_path(name) is not None
+
+
+@dataclass(frozen=True)
+class ImportedWorkload(Workload):
+    """A workload backed by an on-disk ChampSim trace instead of the
+    synthesiser. The simulation window covers the whole imported trace
+    (1:3 warmup:measure split, ignoring ``REPRO_SCALE`` — a real trace
+    has a fixed length)."""
+
+    path: str = ""
+
+    def windows(self) -> Tuple[int, int]:
+        n = self._length()
+        warmup = max(1, n // 4)
+        return warmup, max(1, n - warmup)
+
+    def _length(self) -> int:
+        n = _IMPORT_LENGTHS.get(self.path)
+        if n is not None:
+            return n
+        p = Path(self.path)
+        if p.suffix not in (".gz", ".xz"):
+            # Fixed 64-byte records: the count is just the file size.
+            n = p.stat().st_size // 64
+            _IMPORT_LENGTHS[self.path] = n
+            return n
+        return len(self.generate())
+
+    def generate(self) -> List[Instruction]:
+        from .champsim import read_champsim
+
+        out = read_champsim(self.path)
+        if not out:
+            raise ConfigurationError(
+                f"ChampSim trace {self.path!r} is empty")
+        _IMPORT_LENGTHS[self.path] = len(out)
+        return out
+
+
+def imported_workload(name: str) -> ImportedWorkload:
+    """Materialise an imported workload from a ``champsim:<path>`` (or
+    extension-detected) workload name."""
+    path = champsim_trace_path(name)
+    if path is None:
+        raise ConfigurationError(f"{name!r} is not a ChampSim trace name")
+    if not Path(path).exists():
+        raise ConfigurationError(f"ChampSim trace {path!r} does not exist")
+    # The workload keeps exactly the name it was requested under: the
+    # result cache loads by the raw pair name and stores by
+    # ``workload.name``, so canonicalising here would split the two.
+    # The placeholder spec only feeds scheduling heuristics (the sweep
+    # engine weighs pairs by spec.n_functions); timing never reads it.
+    return ImportedWorkload(name=name, family="imported",
+                            spec=SynthesisSpec(name=name), path=path)
 
 
 def _server_spec(index: int, *, seed_base: int = 1000) -> SynthesisSpec:
@@ -272,7 +360,12 @@ def workload_names(family: Optional[str] = None) -> List[str]:
 
 
 def get_workload(name: str) -> Workload:
-    """Look a workload up by name (e.g. ``"server_003"``)."""
+    """Look a workload up by name (e.g. ``"server_003"``). Names of the
+    form ``champsim:<path>`` (or bare paths with a ChampSim trace
+    extension) resolve to an :class:`ImportedWorkload` backed by that
+    file instead of the synthetic suite."""
+    if is_imported_workload(name):
+        return imported_workload(name)
     try:
         return _index()[name]
     except KeyError as exc:

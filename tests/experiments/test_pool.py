@@ -81,6 +81,25 @@ class TestParity:
         out = run_pairs(PAIRS[:1], cache=ResultCache(tmp_path / "w"))
         assert isinstance(out[PAIRS[0]], SimResult)
 
+    def test_workers_consume_vectorized_traces(self, tmp_path):
+        """Every pool worker simulates through the columnar (vectorized)
+        kernel: the trace files the engine fans out decode to v2
+        ArrayTraces carrying the precomputed boundary sidecar."""
+        from repro.trace.arrays import ArrayTrace
+        from repro.trace.io import read_trace
+
+        engine = _engine(tmp_path, "vec", jobs=2)
+        engine.run(PAIRS)
+        trace_files = sorted((engine.cache.root / "traces").glob("*.atrace"))
+        assert len(trace_files) == 2    # one per workload, shared by configs
+        for path in trace_files:
+            trace = read_trace(path)
+            assert isinstance(trace, ArrayTrace)
+            assert len(trace.boundary) == len(trace)
+            # Sidecar invariant the vectorized walk depends on: every
+            # boundary points at or past its own instruction.
+            assert all(b >= i for i, b in enumerate(trace.boundary))
+
 
 class TestScheduling:
     def test_duplicate_pairs_simulated_once(self, tmp_path, monkeypatch):

@@ -118,6 +118,40 @@ class TestFill:
         assert all(name.startswith("client_000__") for name in filled)
 
 
+class TestChampSimImport:
+    """A real (imported) ChampSim trace round-trips through run_all:
+    exported bytes -> champsim:<path> workload -> sweep engine -> cached
+    result, with no synthetic-suite machinery involved."""
+
+    def test_champsim_round_trip(self, tmp_path, monkeypatch, tiny_trace):
+        from repro.trace.champsim import write_champsim
+
+        trace_file = tmp_path / "real.champsim"
+        write_champsim(trace_file, tiny_trace[:4000])
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(runner_mod, "_default_cache", None)
+        monkeypatch.setattr(run_all_mod, "all_pairs", lambda: [])
+        assert main(["--champsim", str(trace_file),
+                     "--pairs", "::conv32"]) == 0
+        name = f"champsim:{trace_file}"
+        result = runner_mod.default_cache().load(name, "conv32")
+        assert result is not None
+        assert result.workload == name
+        assert result.cycles > 0
+        # The imported window covers the whole trace (1:3 split).
+        assert result.instructions == 3000
+
+    def test_champsim_list_names_import_pairs(self, tmp_path, monkeypatch,
+                                              capsys):
+        trace_file = tmp_path / "real.champsim"
+        trace_file.write_bytes(b"\0" * 64)
+        monkeypatch.setattr(run_all_mod, "all_pairs", lambda: [])
+        assert main(["--list", "--champsim", str(trace_file)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines == [f"champsim:{trace_file} conv32",
+                         f"champsim:{trace_file} ubs"]
+
+
 class TestObsDir:
     """--obs-dir turns a fill into a queryable run directory."""
 

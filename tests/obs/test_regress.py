@@ -79,6 +79,38 @@ class TestAnalyze:
     def test_first_entry_never_flagged(self):
         assert analyze([("only", bench(1.0))], tolerance=0.0)["ok"]
 
+    def test_suiteless_entry_not_compared(self):
+        # Regression: snapshots written before the suite field existed
+        # used to default to "full" and get diffed against real
+        # full-suite entries, manufacturing fake regressions. They now
+        # live in an "unknown" lane that is never compared.
+        old = bench(10.0)
+        del old["suite"]
+        chain = [
+            ("full1", bench(100.0, suite="full")),
+            ("old", old),
+            ("full2", bench(98.0, suite="full")),
+        ]
+        analysis = analyze(chain, tolerance=0.15)
+        assert analysis["ok"]
+        entries = {e["label"]: e for e in analysis["entries"]}
+        # The unlabelled entry is shown but never diffed or flagged…
+        assert entries["old"]["suite"] == "unknown"
+        assert entries["old"]["comparable"] is False
+        assert entries["old"]["ratio_vs_prev"] is None
+        assert not entries["old"]["regression"]
+        # …and full2 still compares against full1, not the old entry.
+        assert entries["full2"]["ratio_vs_prev"] == 0.98
+
+    def test_suiteless_entries_never_anchor_each_other(self):
+        # Two unlabelled snapshots may time different pair sets; even
+        # within the unknown lane no comparison is made.
+        a, b = bench(100.0), bench(10.0)
+        del a["suite"], b["suite"]
+        analysis = analyze([("a", a), ("b", b)], tolerance=0.15)
+        assert analysis["ok"]
+        assert analysis["entries"][1]["ratio_vs_prev"] is None
+
 
 class TestRender:
     def test_table_and_verdict(self):
@@ -92,3 +124,12 @@ class TestRender:
     def test_clean_chain_message(self):
         text = render(analyze([("a", bench(100.0))], tolerance=0.15))
         assert "no regressions beyond 15% tolerance" in text
+
+    def test_suiteless_entry_marked(self):
+        old = bench(10.0)
+        del old["suite"]
+        text = render(analyze([("full1", bench(100.0)), ("old", old)],
+                              tolerance=0.15))
+        assert "unknown?" in text
+        assert "not compared" in text
+        assert "REGRESSION" not in text.replace("REGRESSIONS", "")

@@ -23,7 +23,9 @@ from pathlib import Path
 import pytest
 
 from repro.cpu.machine import Machine, build_icache
+from repro.errors import ConfigurationError
 from repro.trace.arrays import ArrayTrace
+from repro.trace.record import Instruction, InstrKind
 from repro.trace.workloads import get_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden" / "parity"
@@ -83,6 +85,61 @@ def test_bit_identical_to_golden(workload, config):
         "simulation semantics changed (if intentional, bump RESULTS_VERSION "
         "and regenerate with REPRO_UPDATE_GOLDENS=1)"
     )
+
+
+class TestEdgeTraces:
+    """Degenerate traces through the vectorized columnar paths: the
+    precomputed boundary/segment machinery must agree with the scalar
+    object-list walk at the extremes, not just on realistic workloads."""
+
+    CONFIGS = ("conv32", "ubs")
+
+    @staticmethod
+    def _run(trace, config, warmup, measure):
+        machine = Machine(trace, build_icache(config))
+        result = machine.run(warmup, measure)
+        result.workload = "edge"
+        result.config = config
+        return result.to_dict()
+
+    def _assert_paths_agree(self, instrs, warmup, measure):
+        for config in self.CONFIGS:
+            scalar = self._run(list(instrs), config, warmup, measure)
+            columnar = self._run(ArrayTrace.from_instructions(instrs),
+                                 config, warmup, measure)
+            assert columnar == scalar, config
+
+    def test_empty_trace_rejected_on_both_paths(self):
+        with pytest.raises(ConfigurationError, match="empty trace"):
+            Machine([], build_icache("conv32"))
+        with pytest.raises(ConfigurationError, match="empty trace"):
+            Machine(ArrayTrace.from_instructions([]),
+                    build_icache("conv32"))
+
+    def test_single_instruction(self):
+        self._assert_paths_agree(
+            [Instruction(0x1000, 4, InstrKind.ALU)], 0, 1)
+
+    def test_single_taken_branch(self):
+        self._assert_paths_agree(
+            [Instruction(0x1000, 4, InstrKind.JUMP, taken=True,
+                         target=0x2000)], 0, 1)
+
+    def test_all_branch_kinds(self):
+        # Every instruction is a branch, cycling through every branch
+        # kind; taken ones jump forward a block, the rest fall through.
+        kinds = (InstrKind.BR_COND, InstrKind.JUMP, InstrKind.CALL,
+                 InstrKind.RET, InstrKind.BR_IND, InstrKind.CALL_IND)
+        instrs = []
+        pc = 0x40_0000
+        for i in range(240):
+            kind = kinds[i % len(kinds)]
+            taken = kind is not InstrKind.BR_COND or i % 2 == 0
+            target = pc + 68 if taken else 0
+            instrs.append(Instruction(pc, 4, kind, taken=taken,
+                                      target=target))
+            pc = target if taken else pc + 4
+        self._assert_paths_agree(instrs, 40, 200)
 
 
 @pytest.mark.parametrize("workload,config", GOLDEN_PAIRS)

@@ -1,6 +1,7 @@
 """Columnar (structure-of-arrays) trace codec tests."""
 
 import os
+import struct
 
 import pytest
 
@@ -9,6 +10,9 @@ from repro.trace.arrays import (
     ArrayTrace,
     COLUMNS,
     MAGIC,
+    SIDECAR_COLUMNS,
+    SUPPORTED_VERSIONS,
+    V2_COLUMNS,
     VERSION,
     as_array_trace,
     serialized_nbytes,
@@ -108,6 +112,58 @@ class TestCodec:
         assert tuple(name for name, _ in COLUMNS) == (
             "pc", "target", "mem_addr", "size", "kind", "taken",
             "src1", "src2", "dst")
+        assert VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+        assert tuple(name for name, _ in V2_COLUMNS) == (
+            "pc", "target", "mem_addr", "end", "boundary",
+            "size", "kind", "taken", "src1", "src2", "dst")
+
+
+class TestSidecars:
+    """The v2 container's derived columns and its v1 auto-detect."""
+
+    def test_sidecar_semantics(self, trace500):
+        at = ArrayTrace.from_instructions(trace500)
+        n = len(at)
+        for i in range(n):
+            assert at.end[i] == at.pc[i] + at.size[i]
+            b = at.boundary[i]
+            assert i <= b < n
+            # No walk boundary strictly before b…
+            for j in range(i, b):
+                assert not trace500[j].is_branch
+                assert at.pc[j + 1] == at.end[j]
+            # …and b itself is one (branch, discontinuity, or the end).
+            assert (trace500[b].is_branch or b == n - 1
+                    or at.pc[b + 1] != at.end[b])
+
+    def test_python_sidecar_fallback_matches(self, trace500):
+        from repro.trace.arrays import _build_sidecars, _sidecars_python
+
+        at = ArrayTrace.from_instructions(trace500)
+        end, boundary = _build_sidecars(at.pc, at.size, at.kind, len(at))
+        end_py, boundary_py = _sidecars_python(at.pc, at.size, at.kind,
+                                               len(at))
+        assert end.tobytes() == end_py.tobytes()
+        assert boundary.tobytes() == boundary_py.tobytes()
+
+    def test_v1_buffer_autodetected_and_sidecars_recomputed(self, trace500):
+        at = ArrayTrace.from_instructions(trace500)
+        # Hand-build a version-1 container (nine base columns, no
+        # sidecars) as an older host would have serialised it.
+        v1 = struct.pack("<7sBQ", MAGIC, 1, len(at)) + b"".join(
+            getattr(at, name).tobytes() for name, _ in COLUMNS)
+        assert len(v1) == serialized_nbytes(len(at), version=1)
+        back = ArrayTrace.from_bytes(v1)
+        assert back == at
+        for name, _fmt in SIDECAR_COLUMNS:
+            assert getattr(back, name).tobytes() == \
+                getattr(at, name).tobytes()
+
+    def test_v2_serialises_larger_than_v1(self):
+        assert serialized_nbytes(100) == serialized_nbytes(100, 2)
+        assert serialized_nbytes(100, 2) - serialized_nbytes(100, 1) \
+            == 100 * 12    # u64 end + u32 boundary per instruction
 
 
 class TestIOIntegration:

@@ -66,6 +66,29 @@ class TestRoundTrip:
         assert out.src1 == 31 and out.src2 == -1 and out.dst == 0
 
 
+class TestChampSimAutoDetect:
+    def test_extension_detected(self, tmp_path):
+        from repro.trace.champsim import write_champsim
+        from repro.trace.io import is_champsim_file
+
+        trace = _random_trace(64, seed=3)
+        path = tmp_path / "real.champsim"
+        write_champsim(path, trace)
+        assert is_champsim_file(path)
+        out = read_trace(path)
+        # ChampSim records carry no sizes, so only the IP stream is
+        # exactly preserved; that is all auto-detection promises.
+        assert [i.pc for i in out] == [i.pc for i in trace]
+
+    def test_compressed_extension_detected(self, tmp_path):
+        from repro.trace.io import is_champsim_file
+
+        assert is_champsim_file(tmp_path / "x.champsimtrace.xz")
+        assert is_champsim_file(tmp_path / "x.champsim.gz")
+        assert not is_champsim_file(tmp_path / "x.trace.gz")
+        assert not is_champsim_file(tmp_path / "x.atrace")
+
+
 class TestErrors:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad.trace"

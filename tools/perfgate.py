@@ -104,15 +104,23 @@ def _measure_pair(workload_name: str, config: str, trace,
 
 def run_suite(pairs: List[Tuple[str, str]], repeats: int,
               obs=None) -> Dict:
-    """Time every pair; traces are generated once per workload."""
+    """Time every pair; traces are generated once per workload.
+
+    Traces are handed to the machine in the columnar (ArrayTrace) form —
+    the representation every production path (run_all fills, the sweep
+    engine, DSE) simulates with — so the gate times the vectorized
+    kernel, not the object-list compatibility path.
+    """
+    from repro.trace.arrays import ArrayTrace
     from repro.trace.workloads import get_workload
 
     span = obs.span if obs is not None else _null_span
-    traces: Dict[str, list] = {}
+    traces: Dict[str, ArrayTrace] = {}
     results: List[Dict[str, float]] = []
     for workload_name, config in pairs:
         if workload_name not in traces:
-            traces[workload_name] = get_workload(workload_name).generate()
+            traces[workload_name] = ArrayTrace.from_instructions(
+                get_workload(workload_name).generate())
         print(f"  timing {workload_name} x {config} ...",
               end=" ", flush=True)
         with span("measure", key=f"{workload_name}::{config}",
