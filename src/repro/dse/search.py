@@ -100,15 +100,18 @@ class Evaluator:
                  baseline: str = "conv32", jobs: int = 1,
                  cache=None, journal: Optional[SearchJournal] = None,
                  journaled: Optional[Dict[str, dict]] = None,
-                 profiler=None, obs=None) -> None:
+                 profiler=None, obs=None, engine=None) -> None:
         if not workloads:
             raise ConfigurationError("evaluator needs at least one workload")
         self.space = space
         self.workloads = list(workloads)
         self.baseline = baseline
         self.journal = journal
-        self.engine = SweepEngine(jobs=jobs, cache=cache, profiler=profiler,
-                                  obs=obs)
+        # An injected engine (e.g. repro.service.RemoteEngine routing
+        # pairs through a warm daemon) replaces the local sweep engine;
+        # anything with SweepEngine's run()/pairs_simulated surface fits.
+        self.engine = engine if engine is not None else SweepEngine(
+            jobs=jobs, cache=cache, profiler=profiler, obs=obs)
         self.pairs_simulated = 0
         self.evals_resumed = 0
         self._journaled: Dict[str, dict] = dict(journaled or {})
@@ -362,7 +365,7 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
                objective: str = "speedup", baseline: str = "conv32",
                jobs: int = 1, seed: int = 0, cache=None,
                journal: Optional[SearchJournal] = None,
-               recorder=None, profiler=None, obs=None,
+               recorder=None, profiler=None, obs=None, engine=None,
                progress: Optional[ProgressFn] = None) -> SearchOutcome:
     """Run one budget-constrained search to completion.
 
@@ -373,6 +376,11 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
     :class:`repro.obs.RunObs` / :class:`~repro.obs.ProgressObs`) wraps
     every generation in a ``genNNN`` span and threads through the sweep
     engine, so a search's span tree nests generation → sweep → pair.
+    ``engine`` injects a ready-made engine (e.g. a
+    :class:`repro.service.RemoteEngine` so every generation runs on a
+    warm daemon) in place of the local ``SweepEngine(jobs=...)``;
+    results are identical either way — simulation is deterministic and
+    the journal never records who simulated.
     """
     if budget_evals < 1:
         raise ConfigurationError("budget_evals must be positive")
@@ -390,7 +398,7 @@ def run_search(space: DesignSpace, strategy: SearchStrategy,
                          objective=objective, baseline=baseline))
     evaluator = Evaluator(space, workloads, baseline=baseline, jobs=jobs,
                           cache=cache, journal=journal, journaled=journaled,
-                          profiler=profiler, obs=obs)
+                          profiler=profiler, obs=obs, engine=engine)
     rng = random.Random(seed)
     outcome = SearchOutcome(strategy=strategy.name, objective=objective)
     records = outcome.records

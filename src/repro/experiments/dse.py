@@ -210,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "span trace, heartbeats, metrics) into DIR; "
                              "defaults to $REPRO_OBS_DIR, off when neither "
                              "is set")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="evaluate generations through a running "
+                             "simulation daemon (unix:/path or host:port; "
+                             "see docs/service.md); defaults to "
+                             "$REPRO_SERVER, local execution when neither "
+                             "is set or the daemon does not answer")
     return parser
 
 
@@ -251,6 +257,21 @@ def main(argv: List[str]) -> int:
     else:
         obs = ProgressObs(SweepProgress())
 
+    engine = None
+    server = opts.server or os.environ.get("REPRO_SERVER")
+    if server:
+        from ..service import RemoteEngine, probe
+
+        info = probe(server)
+        if info is None:
+            print(f"service at {server} not answering; "
+                  f"running locally", flush=True)
+        else:
+            engine = RemoteEngine(server, obs=obs)
+            print(f"routing through service at {server} "
+                  f"(pid {info.get('pid')}, jobs={info.get('jobs')})",
+                  flush=True)
+
     status = "OK"
     try:
         outcome = run_search(
@@ -258,11 +279,13 @@ def main(argv: List[str]) -> int:
             objective=opts.objective, baseline=opts.baseline,
             jobs=max(1, opts.jobs), seed=opts.seed, cache=default_cache(),
             journal=journal, recorder=recorder, profiler=profiler,
-            obs=obs, progress=progress)
+            obs=obs, engine=engine, progress=progress)
     except BaseException:
         status = "ERROR"
         raise
     finally:
+        if engine is not None:
+            engine.close()
         metrics = None
         if status == "OK":
             from ..telemetry import MetricsRegistry

@@ -33,6 +33,16 @@ byte-identical (tests/experiments/test_run_all.py). Shared-memory
 segments are unlinked as soon as a workload's last pair completes, and
 unconditionally on the way out of :meth:`SweepEngine.run`.
 
+With ``persistent=True`` the engine instead keeps its warm state alive
+*across* :meth:`run` calls — the inline trace memo, the process pool and
+a bounded LRU of published shared-memory segments all survive until
+:meth:`close` — which is what lets a long-running owner (the
+:mod:`repro.service` daemon) answer many independent requests without
+re-paying pool spin-up or trace decode each time. Persistent engines
+assume a fixed ``REPRO_SCALE`` for their lifetime (worker trace memos
+are keyed by workload name only) and must be closed explicitly;
+:class:`SweepEngine` is also a context manager for exactly that.
+
 With an observer attached (``obs=``, a :class:`repro.obs.RunObs`) the
 engine additionally emits a ``sweep`` span per run and one ``pair`` span
 per simulated pair — in pool mode the *worker* emits its pair span via
@@ -64,6 +74,9 @@ _log = logging.getLogger(__name__)
 
 #: Traces memoised per worker process (and by the inline engine).
 TRACE_MEMO_LIMIT = 4
+
+#: Shared-memory trace segments a persistent engine keeps warm (LRU).
+PERSIST_SHM_LIMIT = 4
 
 #: Relative cost of a configuration family, used to order never-measured
 #: pairs longest-expected-first (sub-block designs simulate slower than
@@ -213,19 +226,52 @@ class SweepEngine:
 
     ``jobs == 1`` simulates inline in the same scheduling order (no
     process pool, traces memoised in-process); ``jobs > 1`` runs a
-    persistent ``ProcessPoolExecutor``. After :meth:`run`,
-    :attr:`fill_seconds` / :attr:`pairs_simulated` describe the fill
-    (``pairs_per_min`` derives the campaign throughput metric).
+    ``ProcessPoolExecutor``, created per :meth:`run` by default or kept
+    alive across runs with ``persistent=True`` (see the module
+    docstring). After :meth:`run`, :attr:`fill_seconds` /
+    :attr:`pairs_simulated` describe the fill (``pairs_per_min``
+    derives the campaign throughput metric).
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 profiler=None, obs=None) -> None:
+                 profiler=None, obs=None, persistent: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else default_cache()
         self.profiler = profiler        # telemetry.StageProfiler or None
         self.obs = obs                  # repro.obs.RunObs or None
+        self.persistent = persistent
         self.fill_seconds = 0.0
         self.pairs_simulated = 0
+        # Warm state a persistent engine carries between run() calls.
+        self._memo: "OrderedDict[str, ArrayTrace]" = OrderedDict()
+        self._pool = None                              # ProcessPoolExecutor
+        self._published: "OrderedDict[str, object]" = \
+            OrderedDict()                              # workload -> SharedMemory
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release warm state: shut the persistent pool down, unlink the
+        kept shared-memory segments, drop the trace memo. Idempotent;
+        a no-op for non-persistent engines (their state never outlives
+        :meth:`run`)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        while self._published:
+            _name, shm = self._published.popitem(last=False)
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:       # pragma: no cover - defensive
+                _log.warning("failed to unlink trace segment %s", _name)
+        for trace in self._memo.values():
+            trace.release()
+        self._memo.clear()
 
     @property
     def pairs_per_min(self) -> float:
@@ -304,7 +350,9 @@ class SweepEngine:
                     progress: Optional[ProgressFn]) -> None:
         cache = self.cache
         obs = self.obs
-        memo: "OrderedDict[str, ArrayTrace]" = OrderedDict()
+        # A persistent engine's memo survives this run, so repeat
+        # requests for the same workload skip the decode entirely.
+        memo = self._memo if self.persistent else OrderedDict()
         done = 0
         for workload, config in todo:
             if obs is not None:
@@ -356,13 +404,17 @@ class SweepEngine:
             else:
                 blocked.setdefault(workload, []).append((workload, config))
 
-        published: Dict[str, object] = {}   # workload -> SharedMemory
+        # Per-run segments are unlinked at each workload's last pair; a
+        # persistent engine instead keeps a bounded LRU of segments warm
+        # across runs (unlinked only on eviction or close()).
+        published = self._published if self.persistent else OrderedDict()
 
         def publish(workload: str) -> Optional[str]:
             """Shared-memory name for a workload's trace, creating the
             segment when ≥2 of its pairs still need it."""
             shm = published.get(workload)
             if shm is not None:
+                published.move_to_end(workload)
                 return shm.name
             if remaining[workload] < 2 or not cache.trace_exists(workload):
                 return None          # pioneer run, or not worth a segment
@@ -371,6 +423,8 @@ class SweepEngine:
             shm = trace.to_shared_memory()
             trace.release()
             published[workload] = shm
+            while self.persistent and len(published) > PERSIST_SHM_LIMIT:
+                unpublish(next(iter(published)))
             self._charge("publish", t0)
             return shm.name
 
@@ -383,50 +437,57 @@ class SweepEngine:
         done = 0
         obs = self.obs
         carrier = obs.worker_carrier() if obs is not None else None
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            pool = self._pool
+        else:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                inflight = {}
-                while ready or inflight:
-                    while ready and len(inflight) < self.jobs:
-                        _idx, workload, config = heapq.heappop(ready)
-                        future = pool.submit(_worker_run_pair, workload,
-                                             config, publish(workload),
-                                             cache_root, carrier)
-                        inflight[future] = (workload, config)
-                        if obs is not None:
-                            obs.pair_started(workload, config)
-                    t0 = perf_counter()
-                    completed, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                    self._charge("wait", t0)
-                    for future in completed:
-                        workload, config = inflight.pop(future)
-                        _w, _c, payload, delta = future.result()
-                        for key, count in delta.items():
-                            cache.counters[key] += count
-                        result = SimResult.from_dict(payload)
-                        self._note_done(results, estimates, workload, config,
-                                        result)
-                        remaining[workload] -= 1
-                        if remaining[workload] == 0:
-                            unpublish(workload)
-                        waiters = blocked.pop(workload, None)
-                        if waiters:      # pioneer done: trace is on disk now
-                            base = len(todo)
-                            for offset, pair in enumerate(waiters):
-                                heapq.heappush(ready,
-                                               (base + offset,) + pair)
-                        done += 1
-                        if obs is not None:
-                            obs.pair_done(workload, config, result)
-                        if progress is not None:
-                            progress(workload, config, done, len(todo))
+            inflight = {}
+            while ready or inflight:
+                while ready and len(inflight) < self.jobs:
+                    _idx, workload, config = heapq.heappop(ready)
+                    future = pool.submit(_worker_run_pair, workload,
+                                         config, publish(workload),
+                                         cache_root, carrier)
+                    inflight[future] = (workload, config)
+                    if obs is not None:
+                        obs.pair_started(workload, config)
+                t0 = perf_counter()
+                completed, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                self._charge("wait", t0)
+                for future in completed:
+                    workload, config = inflight.pop(future)
+                    _w, _c, payload, delta = future.result()
+                    for key, count in delta.items():
+                        cache.counters[key] += count
+                    result = SimResult.from_dict(payload)
+                    self._note_done(results, estimates, workload, config,
+                                    result)
+                    remaining[workload] -= 1
+                    if remaining[workload] == 0 and not self.persistent:
+                        unpublish(workload)
+                    waiters = blocked.pop(workload, None)
+                    if waiters:      # pioneer done: trace is on disk now
+                        base = len(todo)
+                        for offset, pair in enumerate(waiters):
+                            heapq.heappush(ready,
+                                           (base + offset,) + pair)
+                    done += 1
+                    if obs is not None:
+                        obs.pair_done(workload, config, result)
+                    if progress is not None:
+                        progress(workload, config, done, len(todo))
         finally:
-            for workload in list(published):
-                try:
-                    unpublish(workload)
-                except OSError:       # pragma: no cover - defensive
-                    _log.warning("failed to unlink trace segment for %s",
-                                 workload)
+            if not self.persistent:
+                pool.shutdown(wait=True)
+                for workload in list(published):
+                    try:
+                        unpublish(workload)
+                    except OSError:   # pragma: no cover - defensive
+                        _log.warning("failed to unlink trace segment for %s",
+                                     workload)
 
     @staticmethod
     def _note_done(results, estimates, workload, config,

@@ -29,6 +29,7 @@ consume (see :mod:`repro.obs`).
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 from typing import List, Tuple
@@ -117,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run observability artifacts (manifest, span trace, "
              "heartbeats, metrics) into DIR; defaults to $REPRO_OBS_DIR, "
              "off when neither is set")
+    parser.add_argument(
+        "--server", default=None, metavar="ADDR",
+        help="route the fill through a running simulation daemon "
+             "(unix:/path or host:port; see docs/service.md); defaults "
+             "to $REPRO_SERVER, local execution when neither is set or "
+             "the daemon does not answer")
     return parser
 
 
@@ -147,7 +154,22 @@ def main(argv: List[str]) -> int:
     else:
         obs = ProgressObs(SweepProgress())
     cache = default_cache()
-    engine = SweepEngine(jobs=jobs, cache=cache, obs=obs)
+    engine = None
+    server = opts.server or os.environ.get("REPRO_SERVER")
+    if server:
+        from ..service import RemoteEngine, probe
+
+        info = probe(server)
+        if info is None:
+            print(f"service at {server} not answering; "
+                  f"running locally", flush=True)
+        else:
+            engine = RemoteEngine(server, obs=obs)
+            jobs = int(info.get("jobs", 1))
+            print(f"routing through service at {server} "
+                  f"(pid {info.get('pid')}, jobs={jobs})", flush=True)
+    if engine is None:
+        engine = SweepEngine(jobs=jobs, cache=cache, obs=obs)
 
     print(f"{len(pairs)} pairs selected "
           f"({jobs} job{'s' if jobs > 1 else ''})", flush=True)
@@ -169,11 +191,17 @@ def main(argv: List[str]) -> int:
             "fill_seconds": round(engine.fill_seconds, 3),
             "fill_pairs_per_min": round(engine.pairs_per_min, 1),
         })
+        if isinstance(engine, SweepEngine):
+            where = cache.counters_line()
+        else:
+            metrics["server"] = engine.address
+            where = f"via service {engine.address}"
+            engine.close()
         obs.finish(metrics=metrics, status=status)
     print(f"done: {engine.pairs_simulated} simulated in "
           f"{engine.fill_seconds:.1f}s "
           f"({engine.pairs_per_min:.1f} pairs/min; "
-          f"{cache.counters_line()})", flush=True)
+          f"{where})", flush=True)
     if obs_dir is not None:
         print(f"obs: {obs_dir}", flush=True)
     return 0

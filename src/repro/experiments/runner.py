@@ -112,6 +112,14 @@ class ResultCache:
         scale = scale_factor()
         return self.root / f"estimates__s{scale:g}.json"
 
+    def has(self, workload: str, config: str) -> bool:
+        """Whether a cached entry for the pair exists, without reading
+        (or counting) it — a cheap peek for callers that only need to
+        know what is cold, e.g. the service client deciding whether a
+        remote sweep will simulate anything. A present-but-corrupt
+        entry reads as cached; the eventual :meth:`load` evicts it."""
+        return self._result_path(workload, config).exists()
+
     def load(self, workload: str, config: str,
              count: bool = True) -> Optional[SimResult]:
         """Load one cached pair. ``count=False`` keeps the lookup out of

@@ -45,6 +45,10 @@ class ProgressObs:
     def __init__(self, progress: Optional[SweepProgress] = None) -> None:
         self.progress = progress
         self.pairs_done = 0
+        #: Set by :class:`repro.service.client.RemoteEngine`: the pairs
+        #: run on a daemon, which emits their spans through our carrier,
+        #: so the host side must not record them a second time.
+        self.remote = False
 
     # -- generic -------------------------------------------------------------
 
@@ -138,9 +142,10 @@ class RunObs(ProgressObs):
     def pair_done(self, workload: str, config: str, result=None) -> None:
         start_ns = self._pair_starts.pop((workload, config), None)
         # At jobs > 1 the worker that simulated the pair emitted its span
-        # (with in-worker timing, via the carrier); inline, the host
-        # observed the boundaries itself and records the span here.
-        if self._jobs == 1 and start_ns is not None:
+        # (with in-worker timing, via the carrier); likewise the daemon
+        # when the engine is remote. Inline, the host observed the
+        # boundaries itself and records the span here.
+        if self._jobs == 1 and not self.remote and start_ns is not None:
             wall = 0.0
             if result is not None:
                 wall = float(result.extra.get("sim_wall_seconds") or 0.0)

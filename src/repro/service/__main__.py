@@ -1,0 +1,131 @@
+"""CLI for the simulation service.
+
+Usage::
+
+    python -m repro.service serve --socket /tmp/repro.sock --jobs 4
+    python -m repro.service serve --port 7621 --idle-timeout 600
+    python -m repro.service ping [ADDR]
+    python -m repro.service stats [ADDR]
+    python -m repro.service shutdown [ADDR]
+
+``ADDR`` defaults to ``$REPRO_SERVER``. Address forms:
+``unix:/path`` (or any string containing ``/``), ``host:port``,
+``tcp:host:port``, or a bare port for localhost TCP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import sys
+from typing import List, Optional
+
+from .client import ServiceClient
+from .protocol import DEFAULT_PORT, ServiceError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run or talk to the simulation daemon.",
+        allow_abbrev=False)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the daemon until SIGTERM/idle-timeout")
+    where = serve_p.add_mutually_exclusive_group(required=True)
+    where.add_argument("--socket", metavar="PATH",
+                       help="listen on a unix-domain socket at PATH")
+    where.add_argument("--port", type=int, metavar="N",
+                       help=f"listen on TCP port N (default host "
+                            f"127.0.0.1; paper default {DEFAULT_PORT})")
+    serve_p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                         help="TCP bind host (with --port; default "
+                              "127.0.0.1)")
+    serve_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="sweep-engine worker processes (default 1)")
+    serve_p.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="S",
+                         help="self-shutdown after S seconds without "
+                              "requests or work (default: never)")
+    serve_p.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="jobs journal directory (default: "
+                              "<cache>/service)")
+    serve_p.add_argument("--obs-dir", default=None, metavar="DIR",
+                         help="write the daemon's own obs run directory "
+                              "(manifest, spans, metrics) under DIR; "
+                              "defaults to $REPRO_OBS_DIR, off when "
+                              "neither is set")
+
+    for name, help_text in (
+            ("ping", "print the daemon's identity/status line"),
+            ("stats", "print the daemon's job/cache statistics"),
+            ("shutdown", "ask the daemon to drain and exit")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("address", nargs="?", default=None,
+                       help="service address (default: $REPRO_SERVER)")
+    return parser
+
+
+def _client_address(opts) -> str:
+    address = opts.address or os.environ.get("REPRO_SERVER")
+    if not address:
+        raise SystemExit(
+            "no service address: pass one or set REPRO_SERVER")
+    return address
+
+
+def main(argv: List[str]) -> int:
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s")
+    opts = build_parser().parse_args(argv)
+
+    if opts.command == "serve":
+        from ..obs import RunObs, resolve_obs_dir
+        from .server import serve
+
+        address = (f"unix:{opts.socket}" if opts.socket
+                   else f"tcp:{opts.host}:{opts.port}")
+        obs = None
+        obs_dir = resolve_obs_dir(opts.obs_dir)
+        if obs_dir is not None:
+            obs = RunObs.create(obs_dir, "service",
+                                argv=["service"] + list(argv),
+                                config={"address": address,
+                                        "jobs": opts.jobs},
+                                live=False)
+        try:
+            code = serve(address, jobs=opts.jobs,
+                         state_dir=opts.state_dir,
+                         idle_timeout=opts.idle_timeout, obs=obs)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if obs is not None:
+                obs.finish()
+        return code
+
+    address = _client_address(opts)
+    client = ServiceClient(address, retries=1, timeout=10.0)
+    try:
+        with client:
+            if opts.command == "ping":
+                info = client.ping()
+                print(json.dumps(info, sort_keys=True))
+            elif opts.command == "stats":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            elif opts.command == "shutdown":
+                client.shutdown()
+                print("draining")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -200,3 +200,53 @@ class TestHygiene:
         # One .atrace per workload, not per pair.
         assert sorted(traces) == ["client_000__s0.03.atrace",
                                   "server_000__s0.03.atrace"]
+
+
+class TestPersistent:
+    def test_persistent_engine_keeps_segments_until_close(self, tmp_path):
+        """With persistent=True the published trace segments survive
+        run() (warm fan-out for the next sweep) and are reclaimed —
+        along with the pool — only by close()."""
+        before = _shm_entries()
+        engine = SweepEngine(jobs=2, cache=ResultCache(tmp_path / "p"),
+                             persistent=True)
+        with engine:
+            engine.run(PAIRS)              # pioneer runs generate traces
+            # Traces are on disk now: this sweep publishes segments.
+            engine.run([("server_000", "conv64"),
+                        ("server_000", "small16"),
+                        ("client_000", "conv64"),
+                        ("client_000", "small16")])
+            assert len(engine._published) == 2
+            assert _shm_entries() != before
+            assert engine._pool is not None
+        assert _shm_entries() == before    # close() unlinked them
+        assert engine._pool is None
+        engine.close()                     # idempotent
+
+    def test_persistent_results_match_throwaway(self, tmp_path):
+        persistent = SweepEngine(jobs=1, cache=ResultCache(tmp_path / "a"),
+                                 persistent=True)
+        with persistent:
+            first = persistent.run(PAIRS)
+            again = persistent.run(PAIRS)  # warm: answered from cache
+            assert persistent.pairs_simulated == 0
+        throwaway = _engine(tmp_path, "b", jobs=1).run(PAIRS)
+        for pair in PAIRS:
+            assert first[pair].cycles == throwaway[pair].cycles
+            assert again[pair].cycles == first[pair].cycles
+
+    def test_persistent_inline_memo_reused(self, tmp_path):
+        """At jobs=1 a persistent engine memoises decoded traces across
+        run() calls: the second sweep's workloads decode zero traces."""
+        engine = SweepEngine(jobs=1, cache=ResultCache(tmp_path / "m"),
+                             persistent=True)
+        with engine:
+            engine.run(PAIRS)
+            assert set(engine._memo) == {"server_000", "client_000"}
+            traces_before = {w: id(t) for w, t in engine._memo.items()}
+            engine.run([("server_000", "conv64"),
+                        ("client_000", "conv64")])
+            # Same ArrayTrace objects: nothing was re-decoded.
+            assert {w: id(t) for w, t in engine._memo.items()} == \
+                traces_before

@@ -1,0 +1,88 @@
+"""Wire-protocol unit tests: framing, tolerance, pair/address parsing."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_pairs,
+    decode,
+    encode,
+    error_response,
+    format_address,
+    ok_response,
+    parse_address,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_line_with_version(self):
+        line = encode({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        message = json.loads(line)
+        assert message["schema_version"] == PROTOCOL_VERSION
+
+    def test_encode_keeps_explicit_version(self):
+        message = json.loads(encode({"op": "ping", "schema_version": 99}))
+        assert message["schema_version"] == 99
+
+    def test_decode_round_trip(self):
+        assert decode(encode({"op": "ping", "n": 1}))["n"] == 1
+
+    def test_decode_tolerates_unknown_keys(self):
+        line = json.dumps({"op": "ping", "future_field": {"x": 1},
+                           "schema_version": PROTOCOL_VERSION + 5})
+        message = decode(line)
+        assert message["future_field"] == {"x": 1}
+
+    @pytest.mark.parametrize("bad", ["not json", "[1, 2]", '"string"', ""])
+    def test_decode_rejects_non_objects(self, bad):
+        with pytest.raises(ProtocolError):
+            decode(bad)
+
+    def test_response_helpers(self):
+        assert ok_response(x=1) == {
+            "schema_version": PROTOCOL_VERSION, "ok": True, "x": 1}
+        err = error_response("boom", status="failed")
+        assert err["ok"] is False and err["error"] == "boom"
+        assert err["status"] == "failed"
+
+
+class TestCheckPairs:
+    def test_accepts_lists_and_tuples(self):
+        assert check_pairs([["w", "c"], ("w2", "c2")]) == \
+            [("w", "c"), ("w2", "c2")]
+
+    @pytest.mark.parametrize("bad", [
+        None, [], "pairs", [["w"]], [["w", "c", "x"]], [["w", 3]],
+        [["", "c"]], [{"workload": "w"}],
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProtocolError):
+            check_pairs(bad)
+
+
+class TestAddresses:
+    @pytest.mark.parametrize("raw,expect", [
+        ("unix:/tmp/s.sock", ("unix", "/tmp/s.sock")),
+        ("/tmp/s.sock", ("unix", "/tmp/s.sock")),
+        ("tcp:somehost:7000", ("tcp", ("somehost", 7000))),
+        ("somehost:7000", ("tcp", ("somehost", 7000))),
+        (":7000", ("tcp", ("127.0.0.1", 7000))),
+        ("7000", ("tcp", ("127.0.0.1", 7000))),
+        ("somehost", ("tcp", ("somehost", DEFAULT_PORT))),
+    ])
+    def test_forms(self, raw, expect):
+        assert parse_address(raw) == expect
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_address("  ")
+
+    def test_format(self):
+        assert format_address("/tmp/s.sock") == "unix:/tmp/s.sock"
+        assert format_address("7000") == "tcp:127.0.0.1:7000"

@@ -197,6 +197,52 @@ def measure_fill(pairs: List[Tuple[str, str]],
     return samples
 
 
+def measure_service_fill(pairs: List[Tuple[str, str]],
+                         jobs: int, obs=None) -> Dict:
+    """Time one cold fill routed through an in-process daemon.
+
+    Spins up a :class:`repro.service.ServiceServer` on a throwaway unix
+    socket with a fresh cache, submits ``pairs`` through a
+    :class:`~repro.service.RemoteEngine` and tears everything down. The
+    delta against the same-``jobs`` local fill is the service's protocol
+    + scheduling overhead; recorded for the trajectory, never gated
+    (daemon wins come from *warm* reuse, which a cold one-shot
+    deliberately cannot show).
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.runner import ResultCache
+    from repro.service import RemoteEngine, ServiceServer
+
+    span = obs.span if obs is not None else _null_span
+    root = Path(tempfile.mkdtemp(prefix="perfgate_svc_"))
+    try:
+        server = ServiceServer(f"unix:{root / 'svc.sock'}", jobs=jobs,
+                               cache=ResultCache(root / "cache"),
+                               state_dir=str(root / "state"))
+        server.start()
+        print(f"  filling {len(pairs)} pairs via daemon "
+              f"(--jobs {jobs}) ...", end=" ", flush=True)
+        try:
+            engine = RemoteEngine(f"unix:{root / 'svc.sock'}")
+            with span("service_fill", jobs=jobs, pairs=len(pairs)):
+                engine.run(pairs)
+            engine.close()
+        finally:
+            server.close()
+        print(f"{engine.fill_seconds:.2f}s "
+              f"({engine.pairs_per_min:.1f} pairs/min)")
+        return {
+            "jobs": jobs,
+            "pairs": engine.pairs_simulated,
+            "fill_seconds": round(engine.fill_seconds, 3),
+            "fill_pairs_per_min": round(engine.pairs_per_min, 1),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def find_baseline(out_path: Path, explicit: Optional[str]) -> Optional[Path]:
     if explicit:
         return Path(explicit)
@@ -256,6 +302,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated worker counts for the "
                              "sweep-engine fill measurement (default: "
                              "'1,2'; empty string skips it)")
+    parser.add_argument("--service-fill", action="store_true",
+                        help="also time a cold fill routed through an "
+                             "in-process simulation daemon (records the "
+                             "service overhead; informational, never "
+                             "gated)")
     parser.add_argument("--obs-dir", default=None, metavar="DIR",
                         help="record this gate run (span trace, manifest, "
                              "a copy of the BENCH snapshot under bench/) "
@@ -291,6 +342,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["fill_pairs_per_min"] = max(
             s["fill_pairs_per_min"] for s in report["fill"]
         )
+    if args.service_fill:
+        jobs = fill_jobs[-1] if fill_jobs else 1
+        print("fill throughput via the simulation daemon "
+              "(cold cache):")
+        report["service"] = measure_service_fill(pairs, jobs, obs=obs)
 
     out_path = args.out
     if out_path is None:
