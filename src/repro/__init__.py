@@ -104,6 +104,36 @@ def simulate(workload: Union[str, Workload], config: str = "conv32", *,
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
+    from .trace.workloads import SMTWorkload
+
+    if isinstance(workload, SMTWorkload):
+        # Co-run pairs have no single merged trace: each component
+        # becomes one hardware thread of a shared-front-end SMTMachine.
+        from .cpu.machine import split_machine_config
+        from .smt import SMTMachine
+
+        base, override = split_machine_config(config)
+        if params is None:
+            params = override
+        elif override is not None:
+            raise ConfigurationError(
+                f"configuration {config!r} carries a machine-level "
+                "suffix; pass either the suffix or explicit params, "
+                "not both"
+            )
+        components = workload.component_workloads()
+        machine = SMTMachine(
+            [w.generate() for w in components], build_icache(base),
+            params=params, telemetry=telemetry, policy=workload.policy)
+        for thread, comp in zip(machine.threads, components):
+            thread.name = comp.name
+        result = machine.run([w.windows() for w in components])
+        result.workload = workload.name
+        result.config = config
+        for comp, tdict in zip(components, result.extra["threads"]):
+            tdict["workload"] = comp.name
+            tdict["config"] = config
+        return result
     trace = workload.generate()
     warmup, measure = workload.windows()
     from .cpu.machine import split_machine_config

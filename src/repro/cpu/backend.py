@@ -37,8 +37,8 @@ class Backend:
                  "_reg_ready", "_last_commit", "_commits_this_cycle",
                  "loads", "stores", "_decode_latency", "_commit_width",
                  "_exec_latency", "_data_access", "_ops", "_ops_trace",
-                 "_l1d_touch", "_l1d_latency", "_data_load_miss",
-                 "_data_store_miss")
+                 "_ops_offset", "_l1d_touch", "_l1d_latency",
+                 "_data_load_miss", "_data_store_miss")
 
     def __init__(self, params: CoreParams,
                  hierarchy: MemoryHierarchy) -> None:
@@ -74,12 +74,13 @@ class Backend:
         # lazily bound to one ArrayTrace (see bind_trace).
         self._ops: Optional[List[Tuple[int, int, int, int, int]]] = None
         self._ops_trace = None
+        self._ops_offset = 0
 
     @property
     def instructions(self) -> int:
         return self._count
 
-    def bind_trace(self, trace) -> None:
+    def bind_trace(self, trace, addr_offset: int = 0) -> None:
         """Precompute fused op tuples for a columnar ``trace``.
 
         Each entry is ``(lat, src1, src2, dst, mem_addr)``: ``lat`` is the
@@ -91,10 +92,17 @@ class Backend:
         reads plus kind dispatch. One linear pass, built whole-column
         with numpy when available; ``Machine.__init__`` binds eagerly so
         timed runs never pay for it.
+
+        ``addr_offset`` shifts every data address by a constant — SMT
+        co-runs give each hardware thread a disjoint address space while
+        sharing one memory hierarchy (see :mod:`repro.smt.machine`).
         """
-        if trace is self._ops_trace:
+        if trace is self._ops_trace and addr_offset == self._ops_offset:
             return
         exec_latency = self._exec_latency
+        mem_col = trace.mem_addr
+        if addr_offset:
+            mem_col = [m + addr_offset for m in mem_col]
         if _np is not None:
             lat_table = _np.array(
                 [-1 if k == _LOAD_I else -2 if k == _STORE_I
@@ -110,7 +118,7 @@ class Backend:
                 )
             ]
             self._ops = list(zip(lat.tolist(), regs[0], regs[1], regs[2],
-                                 trace.mem_addr))
+                                 mem_col))
         else:
             load, store = _LOAD_I, _STORE_I
             self._ops = [
@@ -121,9 +129,10 @@ class Backend:
                  m)
                 for k, s1, s2, d, m in zip(trace.kind, trace.src1,
                                            trace.src2, trace.dst,
-                                           trace.mem_addr)
+                                           mem_col)
             ]
         self._ops_trace = trace
+        self._ops_offset = addr_offset
 
     def rob_has_space(self, cycle: int) -> bool:
         """Can an instruction fetched at ``cycle`` claim a ROB slot?"""
@@ -284,7 +293,7 @@ class Backend:
         objects. Timing is identical to ``n`` ``accept`` calls on the
         object view of the same trace."""
         if trace is not self._ops_trace:
-            self.bind_trace(trace)
+            self.bind_trace(trace, self._ops_offset)
         ops = self._ops
 
         count = self._count

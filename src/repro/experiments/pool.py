@@ -63,7 +63,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..stats.counters import SimResult
 from ..trace.arrays import ArrayTrace
-from ..trace.workloads import get_workload
+from ..trace.workloads import get_workload, is_smt_workload
 from .runner import ResultCache, _simulate, default_cache
 
 Pair = Tuple[str, str]
@@ -201,8 +201,14 @@ def _worker_run_pair(workload: str, config: str, shm_name: Optional[str],
         # stays out of the counters.
         result = cache.load(workload, config, count=False)
         if result is None:
-            trace = _worker_trace(cache, workload, shm_name)
-            result = _simulate(get_workload(workload), config, trace)
+            if is_smt_workload(workload):
+                # Co-run pairs have no single trace to fan out; the SMT
+                # runner pulls each component through the disk cache.
+                result = _simulate(get_workload(workload), config,
+                                   cache=cache)
+            else:
+                trace = _worker_trace(cache, workload, shm_name)
+                result = _simulate(get_workload(workload), config, trace)
             cache.store(result)
         return result
 
@@ -357,18 +363,23 @@ class SweepEngine:
         for workload, config in todo:
             if obs is not None:
                 obs.pair_started(workload, config)
-            trace = memo.get(workload)
-            if trace is None:
-                t0 = perf_counter()
-                trace = cache.array_trace_for(get_workload(workload))
-                self._charge("trace", t0)
-                memo[workload] = trace
-                while len(memo) > TRACE_MEMO_LIMIT:
-                    memo.popitem(last=False)
-            else:
-                memo.move_to_end(workload)
+            trace = None
+            if not is_smt_workload(workload):
+                # Co-run pairs skip the memo: their component traces load
+                # through the disk cache inside the SMT runner.
+                trace = memo.get(workload)
+                if trace is None:
+                    t0 = perf_counter()
+                    trace = cache.array_trace_for(get_workload(workload))
+                    self._charge("trace", t0)
+                    memo[workload] = trace
+                    while len(memo) > TRACE_MEMO_LIMIT:
+                        memo.popitem(last=False)
+                else:
+                    memo.move_to_end(workload)
             t0 = perf_counter()
-            result = _simulate(get_workload(workload), config, trace)
+            result = _simulate(get_workload(workload), config, trace,
+                               cache=cache)
             self._charge("simulate", t0)
             cache.store(result)
             self._note_done(results, estimates, workload, config, result)

@@ -32,7 +32,8 @@ from ..stats.counters import SimResult
 from ..trace.arrays import ArrayTrace
 from ..trace.io import read_trace, write_trace
 from ..trace.record import Instruction
-from ..trace.workloads import Workload, get_workload, scale_factor
+from ..trace.workloads import (SMTWorkload, Workload, get_workload,
+                               is_smt_workload, scale_factor)
 
 #: Bump when any change alters simulation results.
 RESULTS_VERSION = 9
@@ -230,7 +231,8 @@ class ResultCache:
         known = set(workload_names())
         merged = {k: v for k, v in merged.items()
                   if k.split("::", 1)[0] in known
-                  or is_imported_workload(k.split("::", 1)[0])}
+                  or is_imported_workload(k.split("::", 1)[0])
+                  or is_smt_workload(k.split("::", 1)[0])}
         self._atomic_write(self._estimates_path(),
                            json.dumps(merged, sort_keys=True))
 
@@ -282,8 +284,43 @@ def default_cache() -> ResultCache:
     return _default_cache
 
 
+def _simulate_smt(workload: SMTWorkload, config: str,
+                  cache: Optional[ResultCache] = None) -> SimResult:
+    """Simulate an ``smt:`` co-run pair: component traces load through
+    the ordinary trace cache, each becomes one hardware thread of an
+    :class:`repro.smt.SMTMachine`, and the composite result carries each
+    thread's own :class:`SimResult` under ``extra["threads"]``."""
+    from ..smt import build_smt_machine
+
+    if cache is None:
+        cache = default_cache()
+    components = workload.component_workloads()
+    traces = [cache.array_trace_for(w) for w in components]
+    windows = [w.windows() for w in components]
+    machine = build_smt_machine(traces, config, policy=workload.policy)
+    for thread, comp in zip(machine.threads, components):
+        thread.name = comp.name
+    t0 = perf_counter()
+    result = machine.run(windows)
+    wall = perf_counter() - t0
+    result.workload = workload.name
+    result.config = config
+    for comp, tdict in zip(components, result.extra["threads"]):
+        tdict["workload"] = comp.name
+        tdict["config"] = config
+    result.extra["sim_wall_seconds"] = round(wall, 6)
+    if wall > 0:
+        result.extra["sim_cycles_per_sec"] = round(result.cycles / wall)
+        result.extra["sim_instrs_per_sec"] = round(
+            result.instructions / wall)
+    return result
+
+
 def _simulate(workload: Workload, config: str,
-              trace: Optional[Sequence[Instruction]] = None) -> SimResult:
+              trace: Optional[Sequence[Instruction]] = None,
+              cache: Optional[ResultCache] = None) -> SimResult:
+    if isinstance(workload, SMTWorkload):
+        return _simulate_smt(workload, config, cache)
     if trace is None:
         trace = default_cache().array_trace_for(workload)
     warmup, measure = workload.windows()

@@ -39,6 +39,32 @@ from .runs import ObsRun
 Pair = Tuple[str, str]
 
 
+def smt_span_attributes(result) -> Dict[str, Any]:
+    """Per-thread span attributes for an SMT co-run pair's result.
+
+    Solo results get no extra attributes; composites contribute the
+    arbitration policy plus each hardware thread's workload, cycles and
+    instructions under ``thread<N>_*`` keys, so span consumers (``repro.obs
+    report`` / ``tail``) can break a co-run pair down without re-reading
+    the result cache.
+    """
+    smt = result.extra.get("smt")
+    if not smt:
+        return {}
+    attrs: Dict[str, Any] = {
+        "smt_policy": smt.get("policy"),
+        "smt_threads": smt.get("n_threads"),
+    }
+    for tdict in result.extra.get("threads", ()):
+        tid = tdict.get("extra", {}).get("thread")
+        if tid is None:
+            continue
+        attrs[f"thread{tid}_workload"] = tdict.get("workload")
+        attrs[f"thread{tid}_cycles"] = tdict.get("cycles")
+        attrs[f"thread{tid}_instructions"] = tdict.get("instructions")
+    return attrs
+
+
 class ProgressObs:
     """Progress-only observer: the engine hook surface, no artifacts."""
 
@@ -147,13 +173,16 @@ class RunObs(ProgressObs):
         # boundaries itself and records the span here.
         if self._jobs == 1 and not self.remote and start_ns is not None:
             wall = 0.0
+            attrs: Dict[str, Any] = {}
             if result is not None:
                 wall = float(result.extra.get("sim_wall_seconds") or 0.0)
+                attrs = smt_span_attributes(result)
             self.tracer.record_span(
                 "pair", start_ns, time.time_ns(),
                 parent_span_id=self._sweep_span_id,
                 workload=workload, config=config,
-                key=f"{workload}::{config}", sim_wall_seconds=wall)
+                key=f"{workload}::{config}", sim_wall_seconds=wall,
+                **attrs)
         super().pair_done(workload, config, result)
 
     def worker_carrier(self) -> Dict[str, str]:

@@ -1,0 +1,252 @@
+"""Contention-aware SMT pairing: N workloads onto N/2 cores.
+
+Given a measured interference matrix (see
+:mod:`repro.experiments.smt_matrix`), find the perfect matching of
+workloads to two-thread cores that minimises **total slowdown** — the
+sum over all workloads of their co-run slowdown versus solo. Exact
+minimum-weight matching is overkill for the suite sizes here; a greedy
+matching refined by 2-opt local search finds the optimum on every
+matrix we have measured and degrades gracefully on bigger ones.
+
+When no matrix is available (cold scheduler start), a cheap predictor
+orders candidate pairs by combined instruction footprint and
+reuse-distance tail — the two workload properties that separate
+contention regimes — and the same matching machinery runs over the
+predicted costs. The predictor is also used to *seed* the local search
+on measured matrices, which cuts the number of swap rounds.
+
+Usage::
+
+    python -m repro.smt.pairing --matrix matrices.json [--config ubs]
+        [--trials N] [--seed S]
+
+prints the contention-aware assignment next to the random-pairing
+baseline (mean over ``--trials`` shuffles).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Pairing = List[Tuple[int, int]]
+
+
+def pair_cost(matrix: Sequence[Sequence[float]], i: int, j: int) -> float:
+    """Total slowdown of co-scheduling workloads ``i`` and ``j``."""
+    return matrix[i][j] + matrix[j][i]
+
+
+def total_slowdown(matrix: Sequence[Sequence[float]],
+                   pairing: Pairing) -> float:
+    """Summed slowdown of a full assignment."""
+    return sum(pair_cost(matrix, i, j) for i, j in pairing)
+
+
+def greedy_pairing(matrix: Sequence[Sequence[float]],
+                   order: Optional[Sequence[Tuple[int, int]]] = None,
+                   ) -> Pairing:
+    """Greedy minimum-cost matching: repeatedly commit the cheapest
+    still-available pair. ``order`` optionally overrides the candidate
+    ranking (e.g. the footprint predictor's, for seeding)."""
+    n = len(matrix)
+    if n % 2:
+        raise ValueError(f"need an even workload count, got {n}")
+    if order is None:
+        order = sorted(((i, j) for i in range(n) for j in range(i + 1, n)),
+                       key=lambda p: pair_cost(matrix, *p))
+    paired = [False] * n
+    pairing: Pairing = []
+    for i, j in order:
+        if not paired[i] and not paired[j]:
+            paired[i] = paired[j] = True
+            pairing.append((i, j))
+    return pairing
+
+
+def local_search(matrix: Sequence[Sequence[float]],
+                 pairing: Pairing) -> Pairing:
+    """2-opt refinement: for every two pairs (a,b),(c,d) try the two
+    re-matchings (a,c),(b,d) and (a,d),(b,c); apply the best improving
+    swap until a full pass finds none. Monotone, so it terminates."""
+    pairing = list(pairing)
+    improved = True
+    while improved:
+        improved = False
+        for x in range(len(pairing)):
+            for y in range(x + 1, len(pairing)):
+                a, b = pairing[x]
+                c, d = pairing[y]
+                current = pair_cost(matrix, a, b) + pair_cost(matrix, c, d)
+                swaps = (((a, c), (b, d)), ((a, d), (b, c)))
+                best = min(swaps, key=lambda s: pair_cost(matrix, *s[0])
+                           + pair_cost(matrix, *s[1]))
+                cost = pair_cost(matrix, *best[0]) \
+                    + pair_cost(matrix, *best[1])
+                if cost < current - 1e-12:
+                    pairing[x], pairing[y] = best
+                    improved = True
+    return pairing
+
+
+def contention_aware_pairing(matrix: Sequence[Sequence[float]],
+                             seed_order: Optional[
+                                 Sequence[Tuple[int, int]]] = None,
+                             ) -> Pairing:
+    """Greedy matching (optionally predictor-seeded) plus 2-opt."""
+    return local_search(matrix, greedy_pairing(matrix, seed_order))
+
+
+def random_pairing(n: int, rng: random.Random) -> Pairing:
+    """A uniformly random perfect matching of ``n`` workloads."""
+    order = list(range(n))
+    rng.shuffle(order)
+    return [(order[k], order[k + 1]) for k in range(0, n, 2)]
+
+
+def random_baseline(matrix: Sequence[Sequence[float]], trials: int = 100,
+                    seed: int = 0) -> float:
+    """Mean total slowdown over ``trials`` random assignments."""
+    rng = random.Random(seed)
+    n = len(matrix)
+    total = 0.0
+    for _ in range(trials):
+        total += total_slowdown(matrix, random_pairing(n, rng))
+    return total / trials
+
+
+# -- cold-start predictor ------------------------------------------------------
+
+def contention_features(workload_name: str) -> Dict[str, float]:
+    """Cheap per-workload contention features from the analysis passes:
+    instruction footprint (KiB) and the fraction of block accesses whose
+    reuse distance exceeds a 32 KiB-class cache (the paper's capacity
+    point, 512 distinct blocks)."""
+    from ..analysis.reuse import reuse_distance_histogram
+    from ..analysis.trace_stats import footprint
+    from ..experiments.runner import default_cache
+    from ..trace.workloads import get_workload
+
+    trace = default_cache().array_trace_for(get_workload(workload_name))
+    fp = footprint(trace)
+    hist = reuse_distance_histogram(trace)
+    total = sum(hist.values()) or 1
+    # Buckets at or beyond 512 distinct blocks miss a 32 KiB cache.
+    tail = sum(count for label, count in hist.items()
+               if label in (">=8192", "<8192", "<4096", "<2048", "<1024")
+               or label == "cold")
+    return {
+        "footprint_kib": fp.footprint_kib,
+        "reuse_tail": tail / total,
+    }
+
+
+def predicted_cost_order(workloads: Sequence[str],
+                         features: Optional[
+                             Dict[str, Dict[str, float]]] = None,
+                         ) -> List[Tuple[int, int]]:
+    """Candidate pairs cheapest-first under the footprint/reuse model.
+
+    Predicted contention of (A, B) grows with their combined footprint
+    relative to a 32 KiB cache and with both workloads having heavy
+    capacity-missing reuse tails — pairing two streaming footprints is
+    the worst case; pairing a big footprint with a cache-resident loop
+    is nearly free.
+    """
+    if features is None:
+        features = {w: contention_features(w) for w in workloads}
+
+    def cost(i: int, j: int) -> float:
+        a = features[workloads[i]]
+        b = features[workloads[j]]
+        combined = (a["footprint_kib"] + b["footprint_kib"]) / 32.0
+        return combined * (1.0 + a["reuse_tail"] * b["reuse_tail"])
+
+    n = len(workloads)
+    return sorted(((i, j) for i in range(n) for j in range(i + 1, n)),
+                  key=lambda p: cost(*p))
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def describe_pairing(workloads: Sequence[str],
+                     matrix: Sequence[Sequence[float]],
+                     pairing: Pairing) -> List[str]:
+    lines = []
+    for i, j in pairing:
+        lines.append(f"  core: {workloads[i]} + {workloads[j]} "
+                     f"(slowdown {matrix[i][j]:.3f} + {matrix[j][i]:.3f})")
+    return lines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.smt.pairing",
+        description="Assign N workloads onto N/2 SMT cores minimising "
+                    "total slowdown over a measured interference matrix.",
+        allow_abbrev=False)
+    parser.add_argument(
+        "--matrix", required=True, metavar="PATH",
+        help="JSON emitted by 'python -m repro.experiments.smt_matrix "
+             "--json PATH'")
+    parser.add_argument(
+        "--config", default=None, metavar="NAME",
+        help="which configuration's matrix to use (default: first in "
+             "the file)")
+    parser.add_argument(
+        "--trials", type=int, default=200, metavar="N",
+        help="random-pairing baseline sample size (default: 200)")
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="random-baseline seed (default: 0)")
+    parser.add_argument(
+        "--predict-seed", action="store_true",
+        help="seed the greedy matching with the footprint/reuse "
+             "predictor's ranking (requires cached traces)")
+    return parser
+
+
+def main(argv: List[str]) -> int:
+    opts = build_parser().parse_args(argv)
+    with open(opts.matrix) as fh:
+        payload = json.load(fh)
+    configs = payload["configs"]
+    config = opts.config or next(iter(configs))
+    if config not in configs:
+        print(f"no matrix for config {config!r} in {opts.matrix} "
+              f"(have: {', '.join(configs)})", file=sys.stderr)
+        return 2
+    entry = configs[config]
+    workloads = entry["workloads"]
+    matrix = entry["slowdown"]
+    if len(workloads) % 2:
+        print(f"need an even workload count, got {len(workloads)}",
+              file=sys.stderr)
+        return 2
+
+    seed_order = None
+    if opts.predict_seed:
+        seed_order = predicted_cost_order(workloads)
+    pairing = contention_aware_pairing(matrix, seed_order)
+    chosen = total_slowdown(matrix, pairing)
+    baseline = random_baseline(matrix, trials=opts.trials, seed=opts.seed)
+
+    print(f"config={config} workloads={len(workloads)} "
+          f"cores={len(workloads) // 2}")
+    print("contention-aware assignment:")
+    for line in describe_pairing(workloads, matrix, pairing):
+        print(line)
+    print(f"total slowdown: {chosen:.3f} "
+          f"(ideal with no interference: {float(len(workloads)):.1f})")
+    print(f"random pairing baseline: {baseline:.3f} "
+          f"(mean of {opts.trials} shuffles)")
+    improvement = (baseline - chosen) / baseline * 100 if baseline else 0.0
+    print(f"improvement over random: {improvement:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

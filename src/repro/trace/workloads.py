@@ -174,6 +174,74 @@ def imported_workload(name: str) -> ImportedWorkload:
                             spec=SynthesisSpec(name=name), path=path)
 
 
+# -- SMT co-run workloads -----------------------------------------------------
+
+#: Workload-name prefix selecting an SMT co-run of two named workloads.
+SMT_PREFIX = "smt:"
+
+#: Fetch-arbitration policies an SMT workload name may carry (kept as a
+#: literal so this module never imports :mod:`repro.smt`, which imports
+#: the experiment layers back).
+SMT_POLICIES = ("rr", "icount")
+
+
+def is_smt_workload(name: str) -> bool:
+    return name.startswith(SMT_PREFIX)
+
+
+@dataclass(frozen=True)
+class SMTWorkload(Workload):
+    """A co-run of component workloads on one SMT core.
+
+    Named ``smt:<a>+<b>[@<policy>]``; the components are ordinary suite
+    workloads simulated as hardware threads 0..N-1 of one
+    :class:`repro.smt.SMTMachine`. The placeholder spec only feeds the
+    sweep engine's scheduling heuristics (cost ~ summed footprints);
+    :meth:`generate` is unsupported — there is no single merged stream.
+    """
+
+    components: Tuple[str, ...] = ()
+    policy: str = "rr"
+
+    def component_workloads(self) -> List[Workload]:
+        return [get_workload(c) for c in self.components]
+
+    def generate(self) -> List[Instruction]:
+        raise ConfigurationError(
+            f"SMT workload {self.name!r} has no single trace; simulate "
+            "its components through repro.smt.SMTMachine")
+
+
+def smt_workload(name: str) -> SMTWorkload:
+    """Parse an ``smt:<a>+<b>[@<policy>]`` co-run workload name."""
+    if not is_smt_workload(name):
+        raise ConfigurationError(f"{name!r} is not an SMT workload name")
+    body = name[len(SMT_PREFIX):]
+    policy = "rr"
+    if "@" in body:
+        body, policy = body.rsplit("@", 1)
+        if policy not in SMT_POLICIES:
+            raise ConfigurationError(
+                f"unknown SMT arbitration policy {policy!r} in {name!r} "
+                f"(choose from {SMT_POLICIES})")
+    components = tuple(c for c in body.split("+") if c)
+    if len(components) < 2:
+        raise ConfigurationError(
+            f"SMT workload {name!r} needs at least two '+'-separated "
+            "components")
+    resolved = []
+    for comp in components:
+        if is_smt_workload(comp):
+            raise ConfigurationError(
+                f"nested SMT workload {comp!r} in {name!r}")
+        resolved.append(get_workload(comp))
+    n_functions = sum(w.spec.n_functions for w in resolved)
+    return SMTWorkload(name=name, family="smt",
+                       spec=SynthesisSpec(name=name,
+                                          n_functions=n_functions),
+                       components=components, policy=policy)
+
+
 def _server_spec(index: int, *, seed_base: int = 1000) -> SynthesisSpec:
     """Server workloads span a wide footprint range so that some are
     violently front-end bound and others only mildly (Fig. 8's spread)."""
@@ -363,7 +431,10 @@ def get_workload(name: str) -> Workload:
     """Look a workload up by name (e.g. ``"server_003"``). Names of the
     form ``champsim:<path>`` (or bare paths with a ChampSim trace
     extension) resolve to an :class:`ImportedWorkload` backed by that
-    file instead of the synthetic suite."""
+    file, and ``smt:<a>+<b>[@policy]`` names to an :class:`SMTWorkload`
+    co-run, instead of the synthetic suite."""
+    if is_smt_workload(name):
+        return smt_workload(name)
     if is_imported_workload(name):
         return imported_workload(name)
     try:

@@ -106,9 +106,9 @@ class TestScheduling:
         calls = []
         real = runner_mod._simulate
 
-        def counting(workload, config, trace=None):
+        def counting(workload, config, trace=None, cache=None):
             calls.append((workload.name, config))
-            return real(workload, config, trace)
+            return real(workload, config, trace, cache=cache)
 
         import repro.experiments.pool as pool_mod
         monkeypatch.setattr(pool_mod, "_simulate", counting)

@@ -143,6 +143,33 @@ class TestEdgeTraces:
 
 
 @pytest.mark.parametrize("workload,config", GOLDEN_PAIRS)
+def test_smt_solo_bit_identical_to_golden(workload, config):
+    """A single-thread ``repro.smt`` run must be bit-identical to
+    ``Machine.run`` on every pinned golden: the SMT cycle loop reduces
+    stage by stage to the solo machine when only one hardware thread is
+    live, so SMT plumbing can never perturb solo results."""
+    from repro.smt import build_smt_machine
+
+    path = _golden_path(workload, config)
+    if not path.exists():
+        pytest.skip(f"golden {path.name} not recorded yet")
+    wl = get_workload(workload)
+    trace = ArrayTrace.from_instructions(wl.generate())
+    warmup, measure = wl.windows()
+    machine = build_smt_machine([trace], config)
+    result = machine.run([(warmup, measure)])
+    result.workload = workload
+    result.config = config
+    produced = result.to_dict()
+    golden = json.loads(path.read_text())
+    assert produced == golden, (
+        f"{workload}/{config} drifted between SMTMachine (solo) and the "
+        "golden recorded by Machine.run — the SMT loop is no longer "
+        "bit-identical in single-thread mode"
+    )
+
+
+@pytest.mark.parametrize("workload,config", GOLDEN_PAIRS)
 def test_columnar_trace_bit_identical_to_golden(workload, config):
     """The ArrayTrace delivery/run-ahead fast paths (columnar BPU walk,
     ``Backend.accept_range_arrays``) must match the same pre-recorded

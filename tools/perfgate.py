@@ -7,9 +7,18 @@ in-process and reused across configurations and repeats), then writes a
 ``BENCH_<date>.json`` snapshot and compares it against a baseline:
 
 * the file given with ``--baseline``, or
-* the newest other ``BENCH_*.json`` at the repo root, or
+* the newest other ``BENCH_*.json`` at the repo root **of a comparable
+  suite** — suites time different pair sets, so each lane only compares
+  like-for-like: ``smoke`` falls back to the ``full`` lane (a superset
+  of its pairs), ``full`` and ``smt`` only to themselves — or
 * ``benchmarks/perf/baseline.json`` (the frozen pre-optimization
-  baseline recorded before PR 3's hot-path work).
+  baseline recorded before PR 3's hot-path work; never used for the
+  ``smt`` lane, which it predates).
+
+The ``smt`` suite times SMT co-run pairs (``smt:A+B`` workloads through
+:class:`repro.smt.SMTMachine` — two hardware threads sharing the front
+end) in their own suite-tagged lane, so ``repro.obs regress`` trends
+them separately from the single-thread suites.
 
 The headline metric is the geometric mean of simulated cycles per host
 second across all pairs. The gate fails (exit 1) when that geomean drops
@@ -20,6 +29,7 @@ Usage::
 
     python tools/perfgate.py --smoke              # quick pinned smoke set
     python tools/perfgate.py                      # full pinned suite
+    python tools/perfgate.py --suite smt          # SMT co-run lane
     python tools/perfgate.py --smoke --tolerance 0.5   # lenient (CI)
     python tools/perfgate.py --smoke --out /tmp/bench.json --no-compare
 
@@ -63,6 +73,30 @@ FULL_PAIRS: List[Tuple[str, str]] = SMOKE_PAIRS + [
     ("spec_000", "ubs"),
 ]
 
+#: The SMT lane: one co-run pair (two threads through the shared front
+#: end) on both headline configurations. Its throughput is not
+#: comparable to the single-thread suites — a cycle advances two
+#: architectural streams — hence the separate suite tag.
+SMT_PAIRS: List[Tuple[str, str]] = [
+    ("smt:server_000+client_000", "conv32"),
+    ("smt:server_000+client_000", "ubs"),
+]
+
+SUITES: Dict[str, List[Tuple[str, str]]] = {
+    "smoke": SMOKE_PAIRS,
+    "full": FULL_PAIRS,
+    "smt": SMT_PAIRS,
+}
+
+#: Which lanes a suite may take its baseline from, in preference order.
+#: ``smoke`` pairs are a subset of ``full``'s, so that fallback stays
+#: meaningful; nothing else crosses lanes.
+BASELINE_LANES: Dict[str, Tuple[str, ...]] = {
+    "smoke": ("smoke", "full"),
+    "full": ("full",),
+    "smt": ("smt",),
+}
+
 SCHEMA_VERSION = 1
 
 
@@ -72,12 +106,51 @@ def _null_span(*_a, **_k):
     return contextlib.nullcontext()
 
 
+def _measure_smt_pair(workload_name: str, config: str, traces,
+                      repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` timing of one SMT co-run (``smt:A+B``) pair.
+
+    ``traces`` is the list of component ArrayTraces in thread order.
+    ``sim_cycles`` is the shared core's cycle counter — one cycle
+    advances every hardware thread — so the throughput metric stays
+    cycles-of-the-one-core per host second, same as the solo suites.
+    """
+    from repro.smt import build_smt_machine
+    from repro.trace.workloads import get_workload
+
+    wl = get_workload(workload_name)
+    windows = [c.windows() for c in wl.component_workloads()]
+    instructions = sum(w + m for w, m in windows)
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        machine = build_smt_machine(list(traces), config, policy=wl.policy)
+        t0 = perf_counter()
+        result = machine.run(windows)
+        wall = perf_counter() - t0
+        sample = {
+            "workload": workload_name,
+            "config": config,
+            "instructions": instructions,
+            "sim_cycles": machine.cycle,
+            "result_cycles": result.cycles,
+            "wall_seconds": round(wall, 6),
+            "cycles_per_sec": round(machine.cycle / wall, 1),
+            "instrs_per_sec": round(instructions / wall, 1),
+        }
+        if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+            best = sample
+    assert best is not None
+    return best
+
+
 def _measure_pair(workload_name: str, config: str, trace,
                   repeats: int) -> Dict[str, float]:
     """Best-of-``repeats`` timing of one (workload, config) simulation."""
     from repro.cpu.machine import Machine, build_icache
-    from repro.trace.workloads import get_workload
+    from repro.trace.workloads import get_workload, is_smt_workload
 
+    if is_smt_workload(workload_name):
+        return _measure_smt_pair(workload_name, config, trace, repeats)
     wl = get_workload(workload_name)
     warmup, measure = wl.windows()
     best: Optional[Dict[str, float]] = None
@@ -112,15 +185,30 @@ def run_suite(pairs: List[Tuple[str, str]], repeats: int,
     kernel, not the object-list compatibility path.
     """
     from repro.trace.arrays import ArrayTrace
-    from repro.trace.workloads import get_workload
+    from repro.trace.workloads import get_workload, is_smt_workload
 
     span = obs.span if obs is not None else _null_span
-    traces: Dict[str, ArrayTrace] = {}
+    solo_traces: Dict[str, ArrayTrace] = {}
+
+    def _trace(name: str) -> ArrayTrace:
+        if name not in solo_traces:
+            solo_traces[name] = ArrayTrace.from_instructions(
+                get_workload(name).generate())
+        return solo_traces[name]
+
+    traces: Dict[str, object] = {}
     results: List[Dict[str, float]] = []
     for workload_name, config in pairs:
         if workload_name not in traces:
-            traces[workload_name] = ArrayTrace.from_instructions(
-                get_workload(workload_name).generate())
+            if is_smt_workload(workload_name):
+                # One ArrayTrace per hardware thread, components shared
+                # with any solo pairs timing the same workload.
+                traces[workload_name] = [
+                    _trace(c)
+                    for c in get_workload(workload_name).components
+                ]
+            else:
+                traces[workload_name] = _trace(workload_name)
         print(f"  timing {workload_name} x {config} ...",
               end=" ", flush=True)
         with span("measure", key=f"{workload_name}::{config}",
@@ -243,16 +331,38 @@ def measure_service_fill(pairs: List[Tuple[str, str]],
         shutil.rmtree(root, ignore_errors=True)
 
 
-def find_baseline(out_path: Path, explicit: Optional[str]) -> Optional[Path]:
+def find_baseline(out_path: Path, explicit: Optional[str],
+                  suite: str = "full") -> Optional[Path]:
+    """Resolve the comparison baseline for a ``suite`` run.
+
+    Explicit ``--baseline`` always wins. Otherwise take the newest
+    committed ``BENCH_*.json`` from the first lane in
+    ``BASELINE_LANES[suite]`` that has one, so lanes only ever compare
+    like-for-like (the PR 7 "unknown lane" rule in ``repro.obs
+    regress``, applied to the gate itself). The frozen pre-optimization
+    baseline is the last resort for the single-thread lanes; the ``smt``
+    lane predates nothing, so its first snapshot simply skips the gate.
+    """
     if explicit:
         return Path(explicit)
     benches = sorted(
         p for p in REPO_ROOT.glob("BENCH_*.json") if p != out_path
     )
-    if benches:
-        return benches[-1]
-    frozen = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
-    return frozen if frozen.exists() else None
+    by_suite: Dict[str, List[Path]] = {}
+    for p in benches:
+        try:
+            tag = json.loads(p.read_text()).get("suite", "unknown")
+        except (OSError, ValueError):
+            continue
+        by_suite.setdefault(tag, []).append(p)
+    for lane in BASELINE_LANES.get(suite, (suite,)):
+        if by_suite.get(lane):
+            return by_suite[lane][-1]
+    if suite != "smt":
+        frozen = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
+        if frozen.exists():
+            return frozen
+    return None
 
 
 def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
@@ -286,7 +396,11 @@ def compare(current: Dict, baseline: Dict, tolerance: float) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="run only the quick pinned smoke pairs")
+                        help="run only the quick pinned smoke pairs "
+                             "(shorthand for --suite smoke)")
+    parser.add_argument("--suite", choices=sorted(SUITES), default=None,
+                        help="pinned pair set to time; each suite is its "
+                             "own baseline lane (default: full)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repetitions per pair (best is kept)")
     parser.add_argument("--tolerance", type=float, default=0.15,
@@ -314,8 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     os.environ["REPRO_SCALE"] = PINNED_SCALE
-    pairs = SMOKE_PAIRS if args.smoke else FULL_PAIRS
-    label = "smoke" if args.smoke else "full"
+    label = args.suite or ("smoke" if args.smoke else "full")
+    pairs = SUITES[label]
 
     from repro.obs import RunObs, resolve_obs_dir
 
@@ -350,7 +464,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out_path = args.out
     if out_path is None:
-        out_path = REPO_ROOT / f"BENCH_{report['date']}.json"
+        # Suite-qualified for the non-default lanes so a same-day run of
+        # two suites never overwrites one snapshot with the other.
+        stem = f"BENCH_{report['date']}"
+        if label != "full":
+            stem += f"_{label}"
+        out_path = REPO_ROOT / f"{stem}.json"
     out_path.write_text(json.dumps(report, indent=1) + "\n")
     print(f"\ngeomean {report['geomean_cycles_per_sec']:,.0f} cycles/s, "
           f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MB")
@@ -368,7 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.no_compare:
             return 0
-        baseline_path = find_baseline(out_path, args.baseline)
+        baseline_path = find_baseline(out_path, args.baseline, suite=label)
         if baseline_path is None:
             print("no baseline found; gate skipped")
             return 0
